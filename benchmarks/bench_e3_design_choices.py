@@ -1,0 +1,40 @@
+"""E3 (extension) — design-choice ablations from DESIGN.md §5.
+
+Sweeps the two tunables behind the headline optimizations: the hub
+delegation threshold (balance vs broadcast overhead) and the bucket-fusion
+depth (local progress vs per-step work variance), plus the unified
+engine-comparison table across all four distributed layouts.
+"""
+
+from repro.analysis.comparison import engine_comparison
+from repro.analysis.sweep import fusion_cap_sweep, hub_threshold_sweep
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+
+
+def test_e3_design_choices(benchmark, write_result):
+    graph = build_csr(generate_kronecker(14, seed=2022))
+
+    def study():
+        thresholds = hub_threshold_sweep(
+            graph, num_ranks=16, thresholds=[64, 128, 256, 512, 1024], num_roots=2
+        )
+        caps = fusion_cap_sweep(graph, num_ranks=16, caps=[1, 2, 4, 16, 64], num_roots=2)
+        engines = engine_comparison(graph, num_ranks=16, num_roots=2)
+        return thresholds, caps, engines
+
+    thresholds, caps, engines = benchmark.pedantic(study, rounds=1, iterations=1)
+    write_result(
+        "E3_design_choices",
+        render_table(thresholds, title="E3a: hub delegation threshold (scale 14, 16 ranks)")
+        + "\n\n"
+        + render_table(caps, title="E3b: bucket fusion cap")
+        + "\n\n"
+        + render_table(engines, title="E3c: engine comparison (identical answers)"),
+    )
+    by = {r["threshold"]: r for r in thresholds}
+    # More delegation -> equal or better balance than none.
+    assert by["64"]["work_imbalance"] <= by["off"]["work_imbalance"] + 0.05
+    steps = [r["supersteps"] for r in caps]
+    assert steps[0] >= steps[-1]

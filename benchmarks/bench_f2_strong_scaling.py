@@ -1,0 +1,25 @@
+"""F2 — strong scaling: simulated kernel time vs node count, fixed problem.
+
+Expected shape: near-ideal speedup while per-node work dominates, then a
+turnover where synchronization latency wins; the optimized variant turns
+over later than the baseline.
+"""
+
+from repro.analysis.scaling import strong_scaling
+from repro.graph500.report import render_table
+
+
+def test_f2_strong_scaling(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: strong_scaling(15, [1, 2, 4, 8, 16, 32], num_roots=2),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "F2_strong_scaling",
+        render_table(rows, title="F2: strong scaling (scale 15, simulated)"),
+    )
+    opt = {r["nodes"]: r for r in rows if r["variant"] == "optimized"}
+    # Speedup from 1 node must be real for a while.
+    assert opt[4]["speedup"] > 1.5
+    assert opt[32]["speedup"] > 0.5  # may turn over, must not collapse

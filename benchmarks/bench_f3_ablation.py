@@ -1,0 +1,34 @@
+"""F3 — optimization ablation at scale 16 on 16 ranks.
+
+Removes each optimization from the full stack individually.  Expected
+shape: coalescing dominates wire bytes, delegation dominates work balance,
+fusion trims supersteps, and the all-off baseline loses on traffic and
+balance simultaneously.
+"""
+
+from repro.analysis.ablation import ablation_study
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+
+
+def test_f3_ablation(benchmark, write_result):
+    graph = build_csr(generate_kronecker(16, seed=2022))
+
+    rows = benchmark.pedantic(
+        lambda: ablation_study(graph, num_ranks=16, num_roots=2, validate=True),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "F3_ablation",
+        render_table(rows, title="F3: optimization ablation (scale 16, 16 ranks)"),
+    )
+    by = {r["variant"]: r for r in rows}
+    assert all(r["valid"] for r in rows)
+    # Coalescing is the traffic optimization.
+    assert by["optimized"]["bytes"] * 2 < by["-coalescing"]["bytes"]
+    # Delegation is the balance optimization.
+    assert by["optimized"]["work_imbalance"] <= by["-delegation"]["work_imbalance"]
+    # The baseline moves the most data.
+    assert by["baseline"]["bytes"] >= by["optimized"]["bytes"]

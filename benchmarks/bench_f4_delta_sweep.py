@@ -1,0 +1,33 @@
+"""F4 — ∆ sensitivity sweep at scale 14.
+
+Expected shape: a U-shaped simulated-time curve — small ∆ blows up the
+superstep count (synchronization-bound), large ∆ blows up relaxations
+(wasted-work-bound) — with the adaptive choice near the bottom.
+"""
+
+from repro.analysis.sweep import delta_sweep
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+
+
+def test_f4_delta_sweep(benchmark, write_result):
+    graph = build_csr(generate_kronecker(14, seed=2022))
+
+    rows = benchmark.pedantic(
+        lambda: delta_sweep(graph, num_ranks=8, num_roots=2),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "F4_delta_sweep",
+        render_table(rows, title="F4: delta sweep (scale 14, 8 ranks, simulated)"),
+    )
+    grid = [r for r in rows if r["tag"] == ""]
+    adaptive = next(r for r in rows if r["tag"] == "adaptive")
+    # U-shape drivers.
+    assert grid[0]["supersteps"] > grid[-1]["supersteps"]
+    assert grid[-1]["edges_relaxed"] > grid[0]["edges_relaxed"]
+    # Adaptive within 2x of the best grid point.
+    best = min(r["mean_sim_s"] for r in grid)
+    assert adaptive["mean_sim_s"] <= 2.0 * best

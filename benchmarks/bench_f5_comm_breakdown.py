@@ -1,0 +1,62 @@
+"""F5 — communication volume and synchronization-round reduction.
+
+Measured (not modeled) traffic: wire bytes, messages and supersteps with
+each communication optimization on and off, at two scales.  Expected
+shape: coalescing cuts bytes by >=2x; compression shaves a further ~17%;
+fusion can only reduce supersteps (it never adds any).
+"""
+
+import numpy as np
+
+from repro.core.config import SSSPConfig
+from repro.core.dist_sssp import distributed_sssp
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+from repro.graph500.roots import sample_roots
+
+
+def _run(graph, config, roots, num_ranks=16):
+    traces = []
+    for root in roots:
+        run = distributed_sssp(graph, int(root), num_ranks=num_ranks, config=config)
+        traces.append(run)
+    return {
+        "bytes": int(np.mean([t.trace_summary["total_bytes"] for t in traces])),
+        "messages": int(np.mean([t.trace_summary["messages"] for t in traces])),
+        "supersteps": int(np.mean([t.trace_summary["supersteps"] for t in traces])),
+        "allreduces": int(np.mean([t.trace_summary["allreduces"] for t in traces])),
+        "comm_s": float(np.mean([t.time_breakdown.get("comm", 0) for t in traces])),
+        "sync_s": float(np.mean([t.time_breakdown.get("sync", 0) for t in traces])),
+    }
+
+
+def test_f5_comm_breakdown(benchmark, write_result):
+    variants = {
+        "optimized": SSSPConfig.optimized(),
+        "-coalescing": SSSPConfig().without("coalesce"),
+        "-compression": SSSPConfig().without("compressed_indices"),
+        "-fusion": SSSPConfig().without("fuse_buckets"),
+        "baseline": SSSPConfig.baseline(),
+    }
+
+    def run_all():
+        rows = []
+        for scale in (14, 16):
+            graph = build_csr(generate_kronecker(scale, seed=2022))
+            roots = sample_roots(graph, 2, seed=7)
+            for name, config in variants.items():
+                stats = _run(graph, config, roots)
+                rows.append({"scale": scale, "variant": name, **stats})
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "F5_comm_breakdown",
+        render_table(rows, title="F5: measured communication breakdown (16 ranks)"),
+    )
+    for scale in (14, 16):
+        by = {r["variant"]: r for r in rows if r["scale"] == scale}
+        assert by["optimized"]["bytes"] * 2 <= by["-coalescing"]["bytes"]
+        assert by["optimized"]["bytes"] < by["-compression"]["bytes"]
+        assert by["optimized"]["supersteps"] <= by["-fusion"]["supersteps"]

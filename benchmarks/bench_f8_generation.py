@@ -1,0 +1,45 @@
+"""F8 — generator and construction throughput.
+
+Kernel-1 cost as a function of scale.  Expected shape: both generation and
+CSR construction scale near-linearly in the edge count (the generator is a
+pure counter-indexed map; construction is a sort).
+"""
+
+import time
+
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+
+
+def test_f8_generation_throughput(benchmark, write_result):
+    # Timed kernel for the benchmark table.
+    edges = benchmark(lambda: generate_kronecker(14, seed=2022))
+    assert edges.num_edges == 16 << 14
+
+    rows = []
+    for scale in (12, 14, 16, 18):
+        t0 = time.perf_counter()
+        el = generate_kronecker(scale, seed=2022)
+        t_gen = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        g = build_csr(el)
+        t_build = time.perf_counter() - t0
+        rows.append(
+            {
+                "scale": scale,
+                "edges": el.num_edges,
+                "gen_s": round(t_gen, 3),
+                "gen_Medges/s": round(el.num_edges / t_gen / 1e6, 1),
+                "build_s": round(t_build, 3),
+                "build_Medges/s": round(el.num_edges / t_build / 1e6, 1),
+                "csr_edges": g.num_edges,
+            }
+        )
+    write_result(
+        "F8_generation",
+        render_table(rows, title="F8: kernel-1 throughput (wall time, this host)"),
+    )
+    # Near-linear: throughput at the largest scale within an order of
+    # magnitude of the smallest (cache falloff is real but bounded).
+    assert rows[-1]["gen_Medges/s"] > rows[0]["gen_Medges/s"] / 10

@@ -1,0 +1,46 @@
+"""F9 — TEPS distribution over the official 64-root sample.
+
+The full benchmark protocol at scale 12 on 8 ranks.  Expected shape: low
+relative variance across roots (the graph has one giant component), and
+harmonic mean <= arithmetic mean (always true; equality iff constant).
+"""
+
+import numpy as np
+
+from repro.graph500.harness import run_graph500_sssp
+from repro.graph500.report import render_output_block, render_table
+
+
+def test_f9_teps_distribution(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: run_graph500_sssp(scale=12, num_ranks=8, num_roots=64),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_valid
+    assert len(result.roots) == 64
+
+    teps = np.array([r.teps for r in result.roots])
+    s = result.teps
+    assert s.hmean <= s.mean
+    # One giant component -> low spread.
+    assert s.stddev / s.mean < 0.5
+
+    deciles = np.percentile(teps, [0, 10, 25, 50, 75, 90, 100])
+    dist_rows = [
+        {
+            "p0": deciles[0],
+            "p10": deciles[1],
+            "p25": deciles[2],
+            "p50": deciles[3],
+            "p75": deciles[4],
+            "p90": deciles[5],
+            "p100": deciles[6],
+        }
+    ]
+    write_result(
+        "F9_roots",
+        render_output_block(result)
+        + "\n\n"
+        + render_table(dist_rows, title="F9: per-root simulated TEPS deciles (scale 12, 8 ranks)"),
+    )

@@ -1,0 +1,56 @@
+"""T1 — headline table: projected full-machine Graph500 SSSP runs.
+
+Reconstructs the paper's headline claim: the scale-42-class run with ~140
+trillion directed edges on >40M cores.  Cost coefficients are *measured*
+from real runs at scales 12-14; the machine model converts them to
+projected kernel times at record scale (raw and derated; see
+repro.analysis.projection for what the derate stands in for).
+"""
+
+from repro.analysis.memory import estimate_memory, max_feasible_scale
+from repro.analysis.projection import fit_projection_model
+from repro.graph500.report import render_table
+from repro.simmpi.machine import sunway_exascale
+
+
+def test_t1_headline_projection(benchmark, write_result):
+    machine = sunway_exascale()
+    model, fits = fit_projection_model(scales=[12, 13, 14], num_ranks=16, num_roots=3)
+
+    def project_headline():
+        return model.project(42, machine.max_nodes, machine, efficiency=0.25)
+
+    headline = benchmark(project_headline)
+    assert headline.cores > 40_000_000
+    assert headline.directed_edges >= 1.4e14
+
+    rows = []
+    for scale, nodes in [(32, 4096), (36, 16384), (39, 65536), (42, machine.max_nodes)]:
+        raw = model.project(scale, nodes, machine, efficiency=1.0)
+        derated = model.project(scale, nodes, machine, efficiency=0.25)
+        row = raw.row()
+        row["GTEPS (derated 25%)"] = round(float(derated.gteps), 1)
+        rows.append(row)
+    coeffs = (
+        f"fitted coefficients: relax/edge={model.relax_per_edge:.2f}, "
+        f"bytes/edge={model.bytes_per_edge:.2f}, "
+        f"supersteps(s)={model.steps_intercept:.1f}+{model.steps_slope:.2f}*s, "
+        f"imbalance={model.work_imbalance:.2f} "
+        f"(measured at scales {[r.scale for r in fits]}, 16 ranks)"
+    )
+    mem_rows = [
+        estimate_memory(s, machine.max_nodes, machine).row() for s in (41, 42, 43, 44)
+    ]
+    feasible = max_feasible_scale(machine.max_nodes, machine)
+    assert estimate_memory(42, machine.max_nodes, machine).fits
+    write_result(
+        "T1_headline",
+        render_table(rows, title="T1: projected Graph500 SSSP runs (modeled, sunway-exascale)")
+        + "\n"
+        + coeffs
+        + "\n\n"
+        + render_table(
+            mem_rows,
+            title=f"T1b: memory feasibility (max feasible scale = {feasible}; record ran at 42)",
+        ),
+    )

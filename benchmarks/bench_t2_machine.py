@@ -1,0 +1,35 @@
+"""T2 — machine configuration table, plus fabric throughput microbenchmark.
+
+The descriptive half reproduces the paper's system table (nodes, cores,
+network tiers) for the three built-in machine models; the timed half
+measures the simulator's own exchange throughput so regressions in the
+substrate are visible.
+"""
+
+import numpy as np
+
+from repro.graph500.report import render_table
+from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.machine import laptop_machine, small_cluster, sunway_exascale
+
+
+def test_t2_machine_table(benchmark, write_result):
+    specs = [sunway_exascale(), small_cluster(64), laptop_machine()]
+    rows = [s.describe() for s in specs]
+    write_result("T2_machine", render_table(rows, title="T2: machine models"))
+    assert rows[0]["total cores"] > 40_000_000
+
+    # Timed kernel: a 16-rank alltoallv of 64k update records.
+    payload = Message(
+        vertex=np.arange(4096, dtype=np.uint32),
+        dist=np.random.default_rng(0).random(4096),
+        kind=np.zeros(4096, dtype=np.uint8),
+    )
+
+    def exchange_round():
+        fabric = Fabric(small_cluster(16), 16)
+        outboxes = [{(r + 1) % 16: payload} for r in range(16)]
+        return fabric.exchange(outboxes)
+
+    inboxes = benchmark(exchange_round)
+    assert all(m is not None for m in inboxes)

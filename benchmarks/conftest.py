@@ -1,0 +1,33 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the reconstructed
+evaluation (see DESIGN.md §4).  Experiment rows are written to
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote them, and the
+timed kernel runs under pytest-benchmark as usual.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write an experiment's rendered table to its results file."""
+
+    def _write(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{experiment_id}] -> {path}\n{text}")
+
+    return _write

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Graph500 kernel 2 (BFS) with direction optimization — the extension
+kernel behind the companion 281-trillion-edge traversal record.
+
+Run:  python examples/bfs_traversal.py [scale]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bfs import bfs, distributed_bfs, validate_bfs
+from repro.graph import build_csr, generate_kronecker
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    graph = build_csr(generate_kronecker(scale))
+    src = int(np.argmax(graph.out_degree))
+    print(f"scale {scale}: {graph.num_vertices} vertices, {graph.num_edges} CSR edges")
+
+    print("\n== Shared-memory BFS, by direction strategy")
+    for direction in ("top_down", "bottom_up", "auto"):
+        res = bfs(graph, src, direction=direction)
+        assert validate_bfs(graph, res).ok
+        print(f"   {direction:10s} inspected {res.counters['edges_inspected']:>9d} edges "
+              f"in {res.counters['levels']} levels "
+              f"(td={res.counters['top_down_steps']}, "
+              f"bu={res.counters['bottom_up_steps']})")
+
+    print("\n== Distributed BFS (16 ranks)")
+    for direction in ("top_down", "auto"):
+        run = distributed_bfs(graph, src, num_ranks=16, direction=direction)
+        assert validate_bfs(graph, run.result).ok
+        print(f"   {direction:10s} {run.trace_summary['total_bytes']:>9d} wire bytes, "
+              f"{run.simulated_seconds*1e3:.3f} ms simulated, "
+              f"{run.teps(graph):.3g} TEPS")
+
+    print("\nThe 'auto' switch is why record-scale BFS is possible: the middle")
+    print("levels contain almost the whole graph, and bottom-up finds each")
+    print("vertex's parent with O(1) expected edge inspections there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run the full Graph500 SSSP benchmark protocol and print the official
+output block.
+
+Run:  python examples/graph500_run.py [--scale N] [--ranks P] [--roots R]
+      [--baseline] [--machine sunway|cluster|laptop]
+"""
+
+import argparse
+
+from repro.core import SSSPConfig
+from repro.graph500 import run_graph500_sssp
+from repro.graph500.report import render_output_block
+from repro.simmpi import laptop_machine, small_cluster, sunway_exascale
+
+MACHINES = {
+    "sunway": sunway_exascale,
+    "cluster": small_cluster,
+    "laptop": laptop_machine,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=13)
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--roots", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--baseline", action="store_true",
+                        help="run the unoptimized reference configuration")
+    parser.add_argument("--machine", choices=sorted(MACHINES), default="cluster")
+    args = parser.parse_args()
+
+    config = SSSPConfig.baseline() if args.baseline else SSSPConfig.optimized()
+    machine = MACHINES[args.machine]()
+    result = run_graph500_sssp(
+        scale=args.scale,
+        num_ranks=args.ranks,
+        num_roots=args.roots,
+        seed=args.seed,
+        machine=machine,
+        config=config,
+    )
+    print(render_output_block(result))
+    if not result.all_valid:
+        raise SystemExit("validation FAILED")
+
+
+if __name__ == "__main__":
+    main()

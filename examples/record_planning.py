@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Plan a record attempt: memory feasibility + projected kernel times.
+
+The workflow a record submission starts from: given the machine, find the
+largest scale that fits (kernel-1 construction peak is the binding
+constraint), then model the kernel time and GTEPS at that operating point
+from coefficients measured on real runs.
+
+Run:  python examples/record_planning.py
+"""
+
+from repro.analysis import estimate_memory, fit_projection_model, max_feasible_scale
+from repro.graph500.report import render_table
+from repro.simmpi import sunway_exascale
+
+
+def main() -> None:
+    machine = sunway_exascale()
+    nodes = machine.max_nodes
+    print(f"Machine: {machine.name} — {nodes:,} nodes x {machine.cores_per_node} cores "
+          f"= {machine.total_cores:,} cores, {machine.mem_per_node/1e9:.0f} GB/node\n")
+
+    print("== 1. What fits?")
+    rows = [estimate_memory(s, nodes, machine).row() for s in range(40, 45)]
+    print(render_table(rows, title="memory feasibility by scale"))
+    feasible = max_feasible_scale(nodes, machine)
+    print(f"\nlargest feasible scale: {feasible} "
+          f"(the paper ran scale 42 — headroom for OS, runtime, and safety)\n")
+
+    print("== 2. What does it cost? (coefficients measured from real runs)")
+    model, _ = fit_projection_model(scales=[11, 12, 13], num_ranks=16, num_roots=2)
+    rows = []
+    for scale in (40, 41, 42):
+        p = model.project(scale, nodes, machine, efficiency=0.25)
+        rows.append(p.row())
+    print(render_table(rows, title="projected per-root kernel time (modeled, 25% efficiency)"))
+    print("\nThe scale-42 row reconstructs the paper's headline operating point:")
+    print(f"  {rows[-1]['edges']} directed edges on {rows[-1]['cores']:,} cores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Weak/strong scaling study plus the full-machine projection — the
+workflow behind the paper's scaling figures, at laptop scale.
+
+Run:  python examples/scaling_study.py [--quick]
+"""
+
+import argparse
+
+from repro.analysis import fit_projection_model, strong_scaling, weak_scaling
+from repro.graph500.report import render_table
+from repro.simmpi import sunway_exascale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    args = parser.parse_args()
+
+    nodes = [1, 2, 4] if args.quick else [1, 2, 4, 8, 16]
+    per_node = 10 if args.quick else 12
+
+    print(render_table(
+        weak_scaling(per_node, nodes, num_roots=2),
+        title=f"Weak scaling (scale {per_node}/node)",
+    ))
+    print()
+    print(render_table(
+        strong_scaling(per_node + 2, nodes, num_roots=2),
+        title=f"Strong scaling (scale {per_node + 2})",
+    ))
+
+    print("\nFitting the projection model from real runs...")
+    scales = [9, 10, 11] if args.quick else [12, 13, 14]
+    model, _ = fit_projection_model(scales=scales, num_ranks=8, num_roots=2)
+    machine = sunway_exascale()
+    rows = []
+    for scale, n in [(36, 16384), (39, 65536), (42, machine.max_nodes)]:
+        p = model.project(scale, n, machine, efficiency=0.25)
+        rows.append(p.row())
+    print(render_table(rows, title="Projected full-machine runs (modeled, 25% efficiency)"))
+    print("\nThe scale-42 row is the reconstruction of the paper's headline:"
+          f"\n  {rows[-1]['edges']} directed edges on {rows[-1]['cores']:,} cores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Scaling Graph 500 SSSP to 140 Trillion Edges
+with over 40 Million Cores" (SC 2022).
+
+The public API re-exports the pieces a downstream user touches directly:
+
+>>> from repro import generate_kronecker, build_csr, distributed_sssp
+>>> graph = build_csr(generate_kronecker(12))
+>>> run = distributed_sssp(graph, source=0, num_ranks=8)
+
+See README.md for the architecture overview and DESIGN.md for the
+reproduction methodology (what is measured vs. modeled).
+"""
+
+from repro.core import (
+    SSSPConfig,
+    SSSPResult,
+    choose_delta,
+    delta_stepping,
+    distributed_sssp,
+)
+from repro.graph import build_csr, generate_kronecker
+from repro.graph500 import run_graph500_sssp, validate_sssp
+from repro.simmpi import MachineSpec, small_cluster, sunway_exascale
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineSpec",
+    "SSSPConfig",
+    "SSSPResult",
+    "__version__",
+    "build_csr",
+    "choose_delta",
+    "delta_stepping",
+    "distributed_sssp",
+    "generate_kronecker",
+    "run_graph500_sssp",
+    "small_cluster",
+    "sunway_exascale",
+    "validate_sssp",
+]

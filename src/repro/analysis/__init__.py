@@ -1,0 +1,27 @@
+"""Evaluation drivers: the code behind every reconstructed table and figure.
+
+Each driver returns plain row dictionaries so the benchmarks can print them
+with :func:`repro.graph500.report.render_table` and EXPERIMENTS.md can quote
+them verbatim.
+"""
+
+from repro.analysis.ablation import ablation_study
+from repro.analysis.comparison import engine_comparison
+from repro.analysis.memory import estimate_memory, max_feasible_scale
+from repro.analysis.projection import ProjectionModel, fit_projection_model
+from repro.analysis.scaling import strong_scaling, weak_scaling
+from repro.analysis.sweep import delta_sweep, fusion_cap_sweep, hub_threshold_sweep
+
+__all__ = [
+    "ProjectionModel",
+    "ablation_study",
+    "delta_sweep",
+    "engine_comparison",
+    "estimate_memory",
+    "fit_projection_model",
+    "max_feasible_scale",
+    "fusion_cap_sweep",
+    "hub_threshold_sweep",
+    "strong_scaling",
+    "weak_scaling",
+]

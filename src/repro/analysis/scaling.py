@@ -1,0 +1,113 @@
+"""Weak- and strong-scaling drivers (experiments F1 and F2).
+
+Weak scaling fixes the problem size *per node* (the Graph500 convention:
+scale grows by one per rank doubling) and grows the machine; strong scaling
+fixes the global problem and grows the machine.  Both compare the optimized
+configuration against the reference baseline, producing the two curves of
+the corresponding figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SSSPConfig
+from repro.graph500.harness import run_graph500_sssp
+from repro.simmpi.machine import MachineSpec, small_cluster
+
+__all__ = ["weak_scaling", "strong_scaling"]
+
+
+def _variants(configs: dict[str, SSSPConfig] | None) -> dict[str, SSSPConfig]:
+    if configs is not None:
+        return configs
+    return {"optimized": SSSPConfig.optimized(), "baseline": SSSPConfig.baseline()}
+
+
+def weak_scaling(
+    scale_per_node: int,
+    node_counts: list[int],
+    num_roots: int = 4,
+    seed: int = 2022,
+    machine: MachineSpec | None = None,
+    configs: dict[str, SSSPConfig] | None = None,
+    validate: bool = False,
+) -> list[dict[str, object]]:
+    """Grow the machine with the problem: scale = scale_per_node + log2(P).
+
+    Returns one row per (variant, node count) with harmonic-mean simulated
+    TEPS and parallel efficiency relative to the single-node run.
+    """
+    rows: list[dict[str, object]] = []
+    for name, config in _variants(configs).items():
+        base_teps: float | None = None
+        for nodes in node_counts:
+            scale = scale_per_node + int(np.log2(nodes))
+            if 2**int(np.log2(nodes)) != nodes:
+                raise ValueError(f"weak scaling needs power-of-two node counts, got {nodes}")
+            result = run_graph500_sssp(
+                scale,
+                num_ranks=nodes,
+                seed=seed,
+                num_roots=num_roots,
+                machine=machine or small_cluster(max(node_counts)),
+                config=config,
+                validate=validate,
+            )
+            teps = result.teps.hmean
+            if base_teps is None:
+                base_teps = teps
+            rows.append(
+                {
+                    "variant": name,
+                    "nodes": nodes,
+                    "scale": scale,
+                    "hmean_TEPS": teps,
+                    "efficiency": teps / (base_teps * nodes),
+                    "mean_sim_s": result.mean_simulated_seconds,
+                    "bytes": result.roots[0].trace["total_bytes"],
+                    "supersteps": result.roots[0].trace["supersteps"],
+                }
+            )
+    return rows
+
+
+def strong_scaling(
+    scale: int,
+    node_counts: list[int],
+    num_roots: int = 4,
+    seed: int = 2022,
+    machine: MachineSpec | None = None,
+    configs: dict[str, SSSPConfig] | None = None,
+    validate: bool = False,
+) -> list[dict[str, object]]:
+    """Fix the problem, grow the machine; reports speedup vs fewest nodes."""
+    rows: list[dict[str, object]] = []
+    for name, config in _variants(configs).items():
+        base_time: float | None = None
+        base_nodes = node_counts[0]
+        for nodes in node_counts:
+            result = run_graph500_sssp(
+                scale,
+                num_ranks=nodes,
+                seed=seed,
+                num_roots=num_roots,
+                machine=machine or small_cluster(max(node_counts)),
+                config=config,
+                validate=validate,
+            )
+            t = result.mean_simulated_seconds
+            if base_time is None:
+                base_time = t
+            rows.append(
+                {
+                    "variant": name,
+                    "nodes": nodes,
+                    "scale": scale,
+                    "mean_sim_s": t,
+                    "speedup": base_time / t,
+                    "ideal": nodes / base_nodes,
+                    "hmean_TEPS": result.teps.hmean,
+                }
+            )
+    return rows

@@ -1,0 +1,15 @@
+"""Graph500 kernel 2: breadth-first search (extension).
+
+The same research group's companion record ("Scaling graph traversal to
+281 trillion edges with 40 million cores") is BFS on the same machine and
+substrate.  This package implements the kernel on the library's existing
+infrastructure: a direction-optimizing shared-memory BFS (Beamer's
+top-down/bottom-up switch), a distributed BFS on SimMPI with frontier
+bitmap allgather for the bottom-up phase, and the spec's BFS validator.
+"""
+
+from repro.bfs.dist_bfs import DistBFSRun, distributed_bfs
+from repro.bfs.kernel import BFSResult, bfs
+from repro.bfs.validation import validate_bfs
+
+__all__ = ["BFSResult", "DistBFSRun", "bfs", "distributed_bfs", "validate_bfs"]

@@ -1,0 +1,101 @@
+"""Graph500 kernel-2 (BFS) result validation.
+
+The spec's checks, on hop levels instead of distances:
+
+1. the root has level 0 and is its own parent;
+2. every reached vertex's parent is reached via a real graph edge and
+   sits exactly one level above: ``level[v] == level[parent[v]] + 1``;
+3. every graph edge connects vertices whose levels differ by at most one
+   (both reached);
+4. reached and unreached vertices are never adjacent; unreached vertices
+   carry the sentinel parent and level;
+5. parent pointers form a forest rooted at the source (levels strictly
+   decrease along them, which rule 2 already enforces; the pointer-jump
+   confirms connectivity to the root).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.kernel import BFSResult
+from repro.graph.csr import CSRGraph
+from repro.graph500.validation import ValidationReport
+
+__all__ = ["validate_bfs"]
+
+
+def validate_bfs(graph: CSRGraph, result: BFSResult) -> ValidationReport:
+    """Run all five BFS checks; see module docstring."""
+    failures: list[str] = []
+    n = graph.num_vertices
+    level = result.level
+    parent = result.parent
+    root = result.source
+    reached = level >= 0
+
+    if level[root] != 0:
+        failures.append(f"rule 1: level[root]={level[root]}, expected 0")
+    if parent[root] != root:
+        failures.append(f"rule 1: parent[root]={parent[root]}, expected {root}")
+
+    bad_parent = reached & (parent < 0)
+    bad_parent[root] = False
+    if np.any(bad_parent):
+        failures.append(
+            f"rule 2: {np.count_nonzero(bad_parent)} reached vertices without a parent"
+        )
+    unreached_bad = ~reached & ((parent != -1) | (level != -1))
+    if np.any(unreached_bad):
+        failures.append(
+            f"rule 4: {np.count_nonzero(unreached_bad)} unreached vertices carry state"
+        )
+
+    tree_vs = np.flatnonzero(reached & (parent >= 0))
+    tree_vs = tree_vs[tree_vs != root]
+    if tree_vs.size:
+        ps = parent[tree_vs]
+        if np.any(~reached[ps]):
+            failures.append("rule 2: some parents are unreached")
+        off = level[tree_vs] - level[ps]
+        if np.any(off != 1):
+            failures.append(
+                f"rule 2: {np.count_nonzero(off != 1)} tree edges do not step one level"
+            )
+        # Tree edges must exist: vectorized key search over the sorted CSR.
+        if n >= np.iinfo(np.int64).max // max(n, 1):
+            raise ValueError("graph too large for vectorized edge validation")
+        src_rep = np.repeat(np.arange(n, dtype=np.int64), graph.out_degree)
+        key_all = src_rep * n + graph.adj
+        key_tree = ps * n + tree_vs
+        loc = np.searchsorted(key_all, key_tree)
+        valid = loc < key_all.size
+        ok = np.zeros(tree_vs.size, dtype=bool)
+        ok[valid] = key_all[loc[valid]] == key_tree[valid]
+        if np.any(~ok):
+            failures.append(
+                f"rule 2: {np.count_nonzero(~ok)} tree edges missing from graph"
+            )
+        # Rule 5: pointer-jump to the root.
+        hop = parent.copy()
+        hop[root] = root
+        for _ in range(int(np.ceil(np.log2(max(n, 2)))) + 1):
+            hop[tree_vs] = hop[hop[tree_vs]]
+        if np.any(hop[tree_vs] != root):
+            failures.append("rule 5: some tree paths do not terminate at the root")
+
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.out_degree)
+    dst = graph.adj
+    mixed = reached[src] != reached[dst]
+    if np.any(mixed):
+        failures.append(
+            f"rule 4: {np.count_nonzero(mixed)} edges connect reached and unreached"
+        )
+    both = reached[src] & reached[dst]
+    skew = np.abs(level[src[both]] - level[dst[both]])
+    if np.any(skew > 1):
+        failures.append(
+            f"rule 3: {np.count_nonzero(skew > 1)} edges span more than one level"
+        )
+
+    return ValidationReport(ok=not failures, failures=failures)

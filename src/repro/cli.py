@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the real benchmark driver's workflow:
+
+* ``run``      — the full Graph500 SSSP protocol, official output block;
+* ``bfs``      — the kernel-2 extension, per-direction statistics;
+* ``ablation`` — the optimization ablation table;
+* ``sweep``    — the ∆ sensitivity sweep;
+* ``project``  — fit the cost model from real runs, project a target
+  (scale, nodes) on the Sunway-class machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=int, default=13, help="log2 of the vertex count")
+    p.add_argument("--ranks", type=int, default=8, help="simulated ranks (nodes)")
+    p.add_argument("--seed", type=int, default=2022)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.config import SSSPConfig
+    from repro.graph500.harness import run_graph500_sssp
+    from repro.graph500.report import render_output_block
+
+    config = SSSPConfig.baseline() if args.baseline else SSSPConfig.optimized()
+    result = run_graph500_sssp(
+        scale=args.scale,
+        num_ranks=args.ranks,
+        num_roots=args.roots,
+        seed=args.seed,
+        config=config,
+    )
+    print(render_output_block(result))
+    return 0 if result.all_valid else 1
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from repro.bfs import distributed_bfs, validate_bfs
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.graph500.report import render_table
+
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    src = int(np.argmax(graph.out_degree))
+    rows = []
+    ok = True
+    for direction in ("top_down", "auto"):
+        run = distributed_bfs(graph, src, num_ranks=args.ranks, direction=direction)
+        ok &= validate_bfs(graph, run.result).ok
+        rows.append(
+            {
+                "direction": direction,
+                "edges_inspected": run.result.counters["edges_inspected"],
+                "levels": run.result.counters["levels"],
+                "sim_s": run.simulated_seconds,
+                "TEPS": run.teps(graph),
+            }
+        )
+    print(render_table(rows, title=f"BFS (scale {args.scale}, {args.ranks} ranks)"))
+    print(f"validation: {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.analysis.ablation import ablation_study
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.graph500.report import render_table
+
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    rows = ablation_study(graph, num_ranks=args.ranks, num_roots=args.roots)
+    print(
+        render_table(
+            rows, title=f"Ablation (scale {args.scale}, {args.ranks} ranks, simulated)"
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import delta_sweep
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.graph500.report import render_table
+
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    rows = delta_sweep(graph, num_ranks=args.ranks, num_roots=args.roots)
+    print(
+        render_table(
+            rows, title=f"Delta sweep (scale {args.scale}, {args.ranks} ranks, simulated)"
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import engine_comparison
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.graph500.report import render_table
+
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    rows = engine_comparison(graph, num_ranks=args.ranks, num_roots=args.roots)
+    print(
+        render_table(
+            rows,
+            title=f"Engine comparison (scale {args.scale}, {args.ranks} ranks, simulated)",
+        )
+    )
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    from repro.analysis.projection import fit_projection_model
+    from repro.graph500.report import render_table
+    from repro.simmpi.machine import sunway_exascale
+
+    machine = sunway_exascale()
+    fit_scales = [args.fit_scale - 2, args.fit_scale - 1, args.fit_scale]
+    print(f"fitting cost model at scales {fit_scales} on {args.ranks} ranks...")
+    model, _ = fit_projection_model(scales=fit_scales, num_ranks=args.ranks, num_roots=2)
+    target_nodes = args.nodes or machine.max_nodes
+    rows = []
+    for eff in (1.0, args.efficiency):
+        p = model.project(args.target_scale, target_nodes, machine, efficiency=eff)
+        row = p.row()
+        row["efficiency"] = eff
+        rows.append(row)
+    print(render_table(rows, title=f"Projection to scale {args.target_scale} (modeled)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graph500 SSSP reproduction: benchmark, ablate, sweep, project.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="full Graph500 SSSP benchmark")
+    _add_common(p_run)
+    p_run.add_argument("--roots", type=int, default=16)
+    p_run.add_argument("--baseline", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_bfs = sub.add_parser("bfs", help="kernel-2 BFS extension")
+    _add_common(p_bfs)
+    p_bfs.set_defaults(func=_cmd_bfs)
+
+    p_abl = sub.add_parser("ablation", help="optimization ablation table")
+    _add_common(p_abl)
+    p_abl.add_argument("--roots", type=int, default=2)
+    p_abl.set_defaults(func=_cmd_ablation)
+
+    p_sweep = sub.add_parser("sweep", help="delta sensitivity sweep")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--roots", type=int, default=2)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cmp = sub.add_parser("compare", help="1-D/2-D/hierarchical engine comparison")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--roots", type=int, default=2)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_proj = sub.add_parser("project", help="full-machine projection")
+    p_proj.add_argument("--fit-scale", type=int, default=13, help="largest fit scale")
+    p_proj.add_argument("--ranks", type=int, default=8)
+    p_proj.add_argument("--target-scale", type=int, default=42)
+    p_proj.add_argument("--nodes", type=int, default=None)
+    p_proj.add_argument("--efficiency", type=float, default=0.25)
+    p_proj.set_defaults(func=_cmd_project)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

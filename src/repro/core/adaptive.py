@@ -1,0 +1,44 @@
+"""Adaptive ∆ selection.
+
+∆-stepping's single tuning knob trades ordering work against wasted
+relaxations: ∆ too small degenerates toward Dijkstra (many epochs, many
+global synchronizations); ∆ too large degenerates toward Bellman-Ford
+(vertices relaxed with non-final distances and re-relaxed later).  The
+standard heuristic — used by the Graph500 reference and by every production
+∆-stepping code — sets ∆ proportional to ``w_max / mean_degree``: a light
+phase then relaxes about one out-edge per frontier vertex per sub-step.
+
+The ∆-sensitivity experiment (F4) sweeps ∆ and checks this choice lands
+near the bottom of the U-shaped cost curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["choose_delta"]
+
+# Relaxations-per-vertex budget per light phase; 3-4 is the usual sweet spot
+# for uniform weights (validated by the F4 sweep).
+_DELTA_SCALE = 4.0
+
+
+def choose_delta(graph: CSRGraph, scale: float = _DELTA_SCALE) -> float:
+    """Pick ∆ from the weight distribution and mean degree.
+
+    ``∆ = scale * w_max / mean_degree``, clamped to ``(0, w_max]``.  Falls
+    back to 1.0 on degenerate graphs (no edges).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    m = graph.num_edges
+    if m == 0 or graph.num_vertices == 0:
+        return 1.0
+    w_max = float(graph.weight.max())
+    if w_max <= 0:
+        raise ValueError("choose_delta requires positive weights")
+    mean_degree = m / graph.num_vertices
+    delta = scale * w_max / max(mean_degree, 1.0)
+    return float(min(max(delta, 1e-9), w_max))

@@ -1,0 +1,115 @@
+"""Configuration of the distributed SSSP engine.
+
+Every optimization the ablation experiment (F3) toggles is a field here, so
+a variant is fully described by one :class:`SSSPConfig` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SSSPConfig"]
+
+_PARTITIONS = ("block", "edge_balanced", "hashed")
+
+
+@dataclass(frozen=True)
+class SSSPConfig:
+    """Knobs of the distributed ∆-stepping engine.
+
+    Attributes:
+        delta: bucket width; ``None`` selects it adaptively from the graph.
+        delta_scale: multiplier for the adaptive choice (see
+            :func:`repro.core.adaptive.choose_delta`).
+        partition: vertex-partition strategy (``block``, ``edge_balanced``,
+            ``hashed``).
+        coalesce: per-destination dedup-min of outgoing updates plus the
+            tentative-distance filter cache (suppress updates that cannot
+            improve the receiver's value).
+        delegate_hubs: split hub adjacency lists across all ranks; a hub
+            relaxation becomes a P-message broadcast instead of a
+            degree-sized update storm from one rank.
+        hub_degree_threshold: vertices with out-degree >= threshold are
+            delegated; ``None`` derives it from the graph and rank count.
+        fuse_buckets: drain the local bucket to a fixpoint (several local
+            sub-iterations) before each global exchange, cutting the number
+            of global synchronizations per epoch.
+        fusion_cap: bound on local sub-iterations per exchange (safety
+            valve; 1 is equivalent to ``fuse_buckets=False``).
+        compressed_indices: send vertex ids as uint32 on the wire when the
+            graph is small enough (distances stay float64 — lossless).
+        hierarchical_aggregation: route inter-supernode traffic through
+            supernode leaders (gather/exchange/scatter) instead of direct
+            rank-to-rank messages; bounds per-step message fan-out at the
+            cost of forwarding inter-supernode bytes twice.
+    """
+
+    delta: float | None = None
+    delta_scale: float = 4.0
+    partition: str = "edge_balanced"
+    coalesce: bool = True
+    delegate_hubs: bool = True
+    hub_degree_threshold: int | None = None
+    fuse_buckets: bool = True
+    fusion_cap: int = 64
+    compressed_indices: bool = True
+    hierarchical_aggregation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.partition not in _PARTITIONS:
+            raise ValueError(f"partition must be one of {_PARTITIONS}, got {self.partition!r}")
+        if self.delta is not None and self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.delta_scale <= 0:
+            raise ValueError("delta_scale must be positive")
+        if self.fusion_cap < 1:
+            raise ValueError("fusion_cap must be >= 1")
+        if self.hub_degree_threshold is not None and self.hub_degree_threshold < 1:
+            raise ValueError("hub_degree_threshold must be >= 1")
+
+    @classmethod
+    def optimized(cls) -> "SSSPConfig":
+        """The full optimization stack (the paper's configuration)."""
+        return cls()
+
+    @classmethod
+    def baseline(cls) -> "SSSPConfig":
+        """Reference-style configuration: everything off, naive partition."""
+        return cls(
+            partition="block",
+            coalesce=False,
+            delegate_hubs=False,
+            fuse_buckets=False,
+            compressed_indices=False,
+        )
+
+    def without(self, optimization: str) -> "SSSPConfig":
+        """Return a copy with one named optimization disabled (ablation)."""
+        toggles = {
+            "coalesce": {"coalesce": False},
+            "delegate_hubs": {"delegate_hubs": False},
+            "fuse_buckets": {"fuse_buckets": False},
+            "compressed_indices": {"compressed_indices": False},
+            "edge_balanced": {"partition": "block"},
+        }
+        if optimization not in toggles:
+            raise ValueError(f"unknown optimization {optimization!r}; options: {sorted(toggles)}")
+        return replace(self, **toggles[optimization])
+
+    def variant_name(self) -> str:
+        """Short human-readable tag for report rows."""
+        if self == SSSPConfig.baseline():
+            return "baseline"
+        off = [
+            name
+            for name, flag in (
+                ("coalesce", self.coalesce),
+                ("delegate", self.delegate_hubs),
+                ("fusion", self.fuse_buckets),
+                ("compress", self.compressed_indices),
+            )
+            if not flag
+        ]
+        if self.partition != "edge_balanced":
+            off.append(f"part={self.partition}")
+        return "optimized" if not off else "optimized -" + " -".join(off)

@@ -1,0 +1,501 @@
+"""Distributed bucketed ∆-stepping on the SimMPI machine.
+
+The algorithm is the shared-memory ∆-stepping of
+:mod:`repro.core.delta_stepping`, parallelized over a 1-D vertex partition
+with the optimization stack the paper's system class uses:
+
+* **routing** — a rank relaxes the out-edges of the bucket-k vertices it
+  owns; candidate updates for remote vertices are sent to their owners, who
+  fold them in with a scatter-min;
+* **coalescing** (``config.coalesce``) — before sending, updates are
+  reduced to one minimum per target, and suppressed entirely when the
+  sender's cached view says they cannot improve the owner's value;
+* **hub delegation** (``config.delegate_hubs``) — hubs' adjacency lists are
+  pre-split across all ranks; relaxing a hub broadcasts one 17-byte record
+  per rank instead of one update per edge;
+* **bucket fusion** (``config.fuse_buckets``) — each rank drains its
+  bucket-k frontier through up to ``fusion_cap`` *local* sub-iterations
+  before the global exchange, so intra-rank light-edge chains cost no
+  synchronization.
+
+One superstep = (process inbox) -> (drain/relax local bucket) -> (flush,
+exchange, allreduce).  Everything a rank does between exchanges is
+vectorized numpy; the fabric charges simulated time for both compute and
+communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import choose_delta
+from repro.core.buckets import BucketQueue
+from repro.core.coalescing import dedup_min, pack_updates, unpack_updates
+from repro.core.config import SSSPConfig
+from repro.core.delegation import DelegateTable, auto_hub_threshold, select_hubs
+from repro.core.relaxation import expand, scatter_min
+from repro.core.result import SSSPResult, derive_parents
+from repro.graph.csr import CSRGraph
+from repro.partition import (
+    Partition1D,
+    block1d,
+    block1d_edge_balanced,
+    hashed1d,
+)
+from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.machine import MachineSpec, small_cluster
+
+__all__ = ["distributed_sssp", "DistSSSPRun"]
+
+_KIND_UPDATE = 0
+_KIND_LIGHT_ANNOUNCE = 1
+_KIND_HEAVY_ANNOUNCE = 2
+
+_INF = np.inf
+
+
+def _make_partition(graph: CSRGraph, kind: str, num_ranks: int) -> Partition1D:
+    if kind == "block":
+        return block1d(graph.num_vertices, num_ranks)
+    if kind == "edge_balanced":
+        return block1d_edge_balanced(graph, num_ranks)
+    if kind == "hashed":
+        return hashed1d(graph.num_vertices, num_ranks)
+    raise ValueError(f"unknown partition kind {kind!r}")
+
+
+class _Rank:
+    """State and per-superstep behaviour of one simulated rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        num_ranks: int,
+        graph: CSRGraph,
+        owned: np.ndarray,
+        owner: np.ndarray,
+        delegates: DelegateTable | None,
+        config: SSSPConfig,
+        delta: float,
+    ) -> None:
+        self.rank = rank
+        self.num_ranks = num_ranks
+        self.config = config
+        self.delta = delta
+        self.owner = owner  # shared dense owner array (read-only use)
+        self.owned = owned
+        n = graph.num_vertices
+        self.owned_mask = np.zeros(n, dtype=bool)
+        self.owned_mask[owned] = True
+        self.delegates = delegates
+        if delegates is not None and delegates.num_hubs:
+            local_rows = owned[~delegates.is_hub(owned)]
+        else:
+            local_rows = owned
+        self.local_graph = graph.subgraph_rows(local_rows)
+        # dist doubles as the coalescing filter cache for remote vertices:
+        # owned entries are authoritative, remote entries record the best
+        # candidate this rank has ever sent toward the owner.
+        self.dist = np.full(n, _INF, dtype=np.float64)
+        self.buckets = BucketQueue(self.dist, delta)
+        self.in_epoch = np.zeros(n, dtype=bool)
+        self.settled_parts: list[np.ndarray] = []
+        # Best distance already announced per hub slot (owner-side filter).
+        if delegates is not None and delegates.num_hubs:
+            self.announced = np.full(delegates.num_hubs, _INF, dtype=np.float64)
+        else:
+            self.announced = np.empty(0, dtype=np.float64)
+        # Outbox accumulators: per destination, lists of (targets, dists, kinds).
+        self._out: list[list[tuple[np.ndarray, np.ndarray, int]]] = [
+            [] for _ in range(num_ranks)
+        ]
+        # Per-superstep work counters, reset by take_step_work().
+        self.step_edges = 0
+        self.step_bytes = 0
+        self._bucket_ops_seen = 0
+        self.has_pending_announcements = False
+
+    # -- epoch lifecycle ---------------------------------------------------
+
+    def start_epoch(self) -> None:
+        self.in_epoch[:] = False
+        self.settled_parts = []
+
+    def local_min_bucket(self) -> float:
+        k = self.buckets.min_live_bucket()
+        return _INF if k is None else float(k)
+
+    def bucket_live(self, k: int) -> bool:
+        return self.buckets.live_count(k) > 0
+
+    # -- candidate routing ---------------------------------------------------
+
+    def _route(self, targets: np.ndarray, cands: np.ndarray, kind: int) -> None:
+        """Apply owned candidates locally; enqueue remote ones for owners."""
+        if targets.size == 0:
+            return
+        mine = self.owned_mask[targets]
+        if mine.any():
+            improved = scatter_min(self.dist, targets[mine], cands[mine])
+            if improved.size:
+                self.buckets.insert(improved)
+        rem_t = targets[~mine]
+        rem_c = cands[~mine]
+        if rem_t.size == 0:
+            return
+        if self.config.coalesce:
+            # Filter through the cached view: only candidates that beat the
+            # best value this rank ever sent can matter to the owner.
+            better = rem_c < self.dist[rem_t]
+            rem_t, rem_c = rem_t[better], rem_c[better]
+            if rem_t.size == 0:
+                return
+            np.minimum.at(self.dist, rem_t, rem_c)
+        owners = self.owner[rem_t]
+        order = np.argsort(owners, kind="stable")
+        so = owners[order]
+        st = rem_t[order]
+        sc = rem_c[order]
+        cuts = np.flatnonzero(np.diff(so)) + 1
+        for dst, t_chunk, c_chunk in zip(
+            so[np.concatenate(([0], cuts))],
+            np.split(st, cuts),
+            np.split(sc, cuts),
+        ):
+            self._out[int(dst)].append((t_chunk, c_chunk, _KIND_UPDATE))
+
+    def _announce(self, hubs_in_frontier: np.ndarray, kind: int) -> None:
+        """Broadcast (hub, dist) records; expand the local slice directly."""
+        assert self.delegates is not None
+        slots = self.delegates.slots_of(hubs_in_frontier)
+        d = self.dist[hubs_in_frontier]
+        fresh = d < self.announced[slots]
+        if kind == _KIND_HEAVY_ANNOUNCE:
+            # Heavy relaxation happens once per epoch with the final value;
+            # the light-phase filter must not suppress it.
+            fresh = np.ones(d.shape, dtype=bool)
+        else:
+            self.announced[slots[fresh]] = d[fresh]
+        hubs = hubs_in_frontier[fresh]
+        dists = d[fresh]
+        if hubs.size == 0:
+            return
+        for dst in range(self.num_ranks):
+            if dst != self.rank:
+                self._out[dst].append((hubs, dists, kind))
+        self.has_pending_announcements = self.num_ranks > 1
+        # This rank's own slice is expanded immediately (no self-message).
+        self._expand_delegated(hubs, dists, kind)
+
+    def _expand_delegated(self, hubs: np.ndarray, dists: np.ndarray, kind: int) -> None:
+        assert self.delegates is not None
+        if kind == _KIND_LIGHT_ANNOUNCE:
+            targets, cands, scanned = self.delegates.expand(hubs, dists, weight_max=self.delta)
+        else:
+            targets, cands, scanned = self.delegates.expand(hubs, dists, weight_min=self.delta)
+        self.step_edges += scanned
+        self._route(targets, cands, _KIND_UPDATE)
+
+    # -- superstep bodies ------------------------------------------------------
+
+    def process_inbox(self, msg: Message | None) -> None:
+        """Apply received updates; expand received hub announcements."""
+        if msg is None:
+            return
+        targets, dists, kinds = unpack_updates(msg)
+        upd = kinds == _KIND_UPDATE
+        if upd.any():
+            t = targets[upd]
+            improved = scatter_min(self.dist, t, dists[upd])
+            if improved.size:
+                self.buckets.insert(improved)
+        for kind in (_KIND_LIGHT_ANNOUNCE, _KIND_HEAVY_ANNOUNCE):
+            sel = kinds == kind
+            if sel.any():
+                self._expand_delegated(targets[sel], dists[sel], kind)
+
+    def relax_bucket(self, k: int) -> None:
+        """Drain bucket ``k`` through local light sub-iterations.
+
+        With fusion enabled this loops until the bucket stops refilling
+        locally (or ``fusion_cap`` is hit); without it, one pass.
+        """
+        max_iters = self.config.fusion_cap if self.config.fuse_buckets else 1
+        for _ in range(max_iters):
+            frontier = self.buckets.drain(k)
+            if frontier.size == 0:
+                return
+            fresh = frontier[~self.in_epoch[frontier]]
+            if fresh.size:
+                self.in_epoch[fresh] = True
+                self.settled_parts.append(fresh)
+            if self.delegates is not None and self.delegates.num_hubs:
+                hub_mask = self.delegates.is_hub(frontier)
+                normal = frontier[~hub_mask]
+                hubs = frontier[hub_mask]
+            else:
+                normal, hubs = frontier, np.empty(0, dtype=np.int64)
+            if normal.size:
+                targets, cands, scanned = expand(
+                    self.local_graph, normal, self.dist, weight_max=self.delta
+                )
+                self.step_edges += scanned
+                self._route(targets, cands, _KIND_UPDATE)
+            if hubs.size:
+                self._announce(hubs, _KIND_LIGHT_ANNOUNCE)
+
+    def emit_heavy(self) -> None:
+        """Relax the heavy edges of everything settled this epoch."""
+        if not self.settled_parts:
+            return
+        settled = np.concatenate(self.settled_parts)
+        if self.delegates is not None and self.delegates.num_hubs:
+            hub_mask = self.delegates.is_hub(settled)
+            normal = settled[~hub_mask]
+            hubs = settled[hub_mask]
+        else:
+            normal, hubs = settled, np.empty(0, dtype=np.int64)
+        if normal.size:
+            targets, cands, scanned = expand(
+                self.local_graph, normal, self.dist, weight_min=self.delta
+            )
+            self.step_edges += scanned
+            self._route(targets, cands, _KIND_UPDATE)
+        if hubs.size:
+            self._announce(hubs, _KIND_HEAVY_ANNOUNCE)
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_outbox(self, num_vertices: int, announcements: bool) -> dict[int, Message]:
+        """Pack one class of queued records into one message per destination.
+
+        ``announcements=True`` flushes hub announcements (the broadcast
+        phase of a superstep); ``False`` flushes plain distance updates (the
+        reduce phase).  Records of the other class stay queued.
+        """
+        out: dict[int, Message] = {}
+        for dst in range(self.num_ranks):
+            parts = self._out[dst]
+            if not parts:
+                continue
+            take = [p for p in parts if (p[2] != _KIND_UPDATE) == announcements]
+            if not take:
+                continue
+            self._out[dst] = [p for p in parts if (p[2] != _KIND_UPDATE) != announcements]
+            targets = np.concatenate([p[0] for p in take])
+            dists = np.concatenate([p[1] for p in take])
+            kinds = np.concatenate(
+                [np.full(p[0].size, p[2], dtype=np.uint8) for p in take]
+            )
+            if self.config.coalesce and not announcements:
+                # Dedup plain updates per target (announcements are already
+                # unique per hub by the announce filter).
+                targets, dists = dedup_min(targets, dists)
+                kinds = np.zeros(targets.size, dtype=np.uint8)
+            msg = pack_updates(
+                targets, dists, kinds, self.config.compressed_indices, num_vertices
+            )
+            self.step_bytes += msg.nbytes
+            out[dst] = msg
+        return out
+
+    def take_step_work(self) -> tuple[int, int, int]:
+        """Return and reset (edges, bucket_ops, bytes) since the last call."""
+        bucket_ops = self.buckets.ops - self._bucket_ops_seen
+        self._bucket_ops_seen = self.buckets.ops
+        work = (self.step_edges, bucket_ops, self.step_bytes)
+        self.step_edges = 0
+        self.step_bytes = 0
+        return work
+
+
+@dataclass
+class DistSSSPRun:
+    """Everything a distributed run produced: answer, costs, measurements."""
+
+    result: SSSPResult
+    config: SSSPConfig
+    num_ranks: int
+    delta: float
+    simulated_seconds: float
+    time_breakdown: dict[str, float]
+    trace_summary: dict[str, float | int]
+    work_imbalance: float
+    machine_name: str
+    # Wire bytes per superstep: the traffic wavefront (rises through the
+    # dense middle buckets, decays in the tail).
+    step_bytes: list[int] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def teps(self, graph: CSRGraph) -> float:
+        """Traversed edges per simulated second (Graph500 metric)."""
+        if self.simulated_seconds <= 0:
+            raise ValueError("run has no positive simulated time")
+        return self.result.traversed_edges(graph) / self.simulated_seconds
+
+
+def distributed_sssp(
+    graph: CSRGraph,
+    source: int,
+    num_ranks: int = 8,
+    machine: MachineSpec | None = None,
+    config: SSSPConfig | None = None,
+) -> DistSSSPRun:
+    """Run distributed ∆-stepping SSSP on a simulated machine.
+
+    Returns a :class:`DistSSSPRun` whose ``result`` is bit-identical in
+    distances to the sequential oracle (the engine is exact; the simulation
+    only affects the modeled time).
+    """
+    if config is None:
+        config = SSSPConfig()
+    if machine is None:
+        machine = small_cluster(max(num_ranks, 1))
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+
+    delta = config.delta if config.delta is not None else choose_delta(graph, config.delta_scale)
+    partition = _make_partition(graph, config.partition, num_ranks)
+    owner = np.asarray(partition.owner_array)
+
+    if config.delegate_hubs:
+        threshold = (
+            config.hub_degree_threshold
+            if config.hub_degree_threshold is not None
+            else auto_hub_threshold(graph, num_ranks)
+        )
+        hubs = select_hubs(graph, threshold)
+    else:
+        threshold = 0
+        hubs = np.empty(0, dtype=np.int64)
+
+    fabric = Fabric(machine, num_ranks, hierarchical=config.hierarchical_aggregation)
+    ranks = [
+        _Rank(
+            rank=r,
+            num_ranks=num_ranks,
+            graph=graph,
+            owned=partition.vertices_of(r),
+            owner=owner,
+            delegates=(
+                DelegateTable.build(graph, hubs, r, num_ranks)
+                if config.delegate_hubs
+                else None
+            ),
+            config=config,
+            delta=delta,
+        )
+        for r in range(num_ranks)
+    ]
+
+    src_rank = ranks[int(owner[source])]
+    src_rank.dist[source] = 0.0
+    src_rank.buckets.insert(np.array([source], dtype=np.int64))
+
+    epochs = 0
+    light_supersteps = 0
+    heavy_rounds = 0
+
+    def _charge_step() -> None:
+        work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
+        fabric.charge_compute(
+            edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
+        )
+
+    def _exchange_round(announcements: bool) -> None:
+        """One communication phase: flush, exchange, process on arrival."""
+        outboxes = [r.flush_outbox(n, announcements) for r in ranks]
+        inboxes = fabric.exchange(outboxes)
+        for r, inbox in zip(ranks, inboxes):
+            r.process_inbox(inbox)
+
+    def _announcement_round_needed() -> bool:
+        """Whether any rank queued a hub announcement this superstep.
+
+        The flag is knowable without extra cost on a real machine: it rides
+        on the preceding allreduce.  Skipping the empty broadcast phase
+        avoids charging a barrier for nothing.
+        """
+        needed = any(r.has_pending_announcements for r in ranks)
+        for r in ranks:
+            r.has_pending_announcements = False
+        return needed
+
+    while True:
+        kmins = np.array([r.local_min_bucket() for r in ranks])
+        # Termination allreduce: min over local minimum buckets.
+        kmin = fabric.allreduce(np.where(np.isfinite(kmins), kmins, 1e300), op="min")
+        if kmin >= 1e300:
+            break
+        k = int(kmin)
+        epochs += 1
+        for r in ranks:
+            r.start_epoch()
+        # ---- light phases.  Each superstep: local drain/relax, then the
+        # announcement broadcast phase (delegation only), then the update
+        # exchange.  Updates are applied on arrival, so after the exchange
+        # the only live state is bucket membership — which the termination
+        # allreduce checks directly.
+        while True:
+            for r in ranks:
+                r.relax_bucket(k)
+            if config.delegate_hubs and hubs.size and _announcement_round_needed():
+                _exchange_round(announcements=True)
+            _exchange_round(announcements=False)
+            _charge_step()
+            light_supersteps += 1
+            live = np.array([r.bucket_live(k) for r in ranks], dtype=np.float64)
+            if not fabric.allreduce_any(live):
+                break
+        # ---- heavy phase: one announcement round (delegation only) plus
+        # one update round; heavy results only land in later buckets, so no
+        # iteration is needed.
+        for r in ranks:
+            r.emit_heavy()
+        if config.delegate_hubs and hubs.size and _announcement_round_needed():
+            _exchange_round(announcements=True)
+        _exchange_round(announcements=False)
+        _charge_step()
+        heavy_rounds += 1
+
+    # ---- assemble the global answer -------------------------------------
+    dist = np.full(n, _INF, dtype=np.float64)
+    for r in ranks:
+        dist[r.owned] = r.dist[r.owned]
+    result = SSSPResult(
+        source=source,
+        dist=dist,
+        parent=derive_parents(graph, dist, source),
+    )
+    result.counters.add("epochs", epochs)
+    result.counters.add("light_supersteps", light_supersteps)
+    result.counters.add("heavy_rounds", heavy_rounds)
+    result.counters.add(
+        "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
+    )
+    result.meta.update(
+        algorithm="distributed_delta_stepping",
+        delta=float(delta),
+        num_ranks=num_ranks,
+        hub_threshold=threshold,
+        num_hubs=int(hubs.size),
+        variant=config.variant_name(),
+    )
+    return DistSSSPRun(
+        result=result,
+        config=config,
+        num_ranks=num_ranks,
+        delta=float(delta),
+        simulated_seconds=fabric.clock.total,
+        time_breakdown=fabric.clock.breakdown(),
+        trace_summary=fabric.trace.summary(),
+        work_imbalance=fabric.compute_imbalance("edges"),
+        machine_name=machine.name,
+        step_bytes=list(fabric.trace.step_bytes),
+        meta={"partition": partition.kind},
+    )

@@ -1,0 +1,87 @@
+"""Vectorized edge-relaxation kernels.
+
+All SSSP variants in this library share two primitives:
+
+* :func:`expand` — gather the out-edges of a frontier of vertices and form
+  candidate distances (``dist[u] + w``), optionally restricted to light or
+  heavy edges (the ∆-stepping split);
+* :func:`scatter_min` — fold candidate distances into the tentative-distance
+  array with ``np.minimum.at`` and report which vertices improved.
+
+Keeping them in one place means the per-edge operation counts charged to the
+cost model are consistent across algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["expand", "scatter_min", "frontier_edges"]
+
+
+def frontier_edges(graph: CSRGraph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (sources-repeated, targets, weights) of the frontier's out-edges."""
+    frontier = np.asarray(frontier, dtype=np.int64)
+    deg = graph.degree_of(frontier)
+    src = np.repeat(frontier, deg)
+    total = int(deg.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.float64)
+    # Concatenate each frontier vertex's CSR slice with the cumsum trick.
+    starts = graph.indptr[frontier]
+    firsts = np.zeros(frontier.size, dtype=np.int64)
+    np.cumsum(deg[:-1], out=firsts[1:])
+    deltas = np.ones(total, dtype=np.int64)
+    nonempty = deg > 0
+    ne_firsts = firsts[nonempty]
+    ne_starts = starts[nonempty]
+    ne_deg = deg[nonempty]
+    deltas[0] = ne_starts[0]
+    deltas[ne_firsts[1:]] = ne_starts[1:] - (ne_starts[:-1] + ne_deg[:-1] - 1)
+    idx = np.cumsum(deltas)
+    return src, graph.adj[idx], graph.weight[idx]
+
+
+def expand(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    dist: np.ndarray,
+    weight_max: float | None = None,
+    weight_min: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Form relaxation candidates from a frontier.
+
+    Returns ``(targets, candidate_dists, edges_scanned)``.  ``weight_max``
+    keeps only edges with ``w < weight_max`` (light edges); ``weight_min``
+    keeps only ``w >= weight_min`` (heavy edges).  ``edges_scanned`` counts
+    every edge touched, including ones filtered out — that is the work the
+    machine actually performs.
+    """
+    src, dst, w = frontier_edges(graph, frontier)
+    scanned = int(src.size)
+    if weight_max is not None:
+        keep = w < weight_max
+        src, dst, w = src[keep], dst[keep], w[keep]
+    if weight_min is not None:
+        keep = w >= weight_min
+        src, dst, w = src[keep], dst[keep], w[keep]
+    return dst, dist[src] + w, scanned
+
+
+def scatter_min(dist: np.ndarray, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Fold candidates into ``dist`` in place; return improved vertex ids.
+
+    The returned ids are unique and sorted.  ``np.minimum.at`` performs the
+    unbuffered scatter-min the CPE relaxation kernels implement in the real
+    code.
+    """
+    if targets.size == 0:
+        return np.empty(0, dtype=np.int64)
+    before = dist[targets]
+    np.minimum.at(dist, targets, candidates)
+    after = dist[targets]
+    improved = np.unique(targets[after < before])
+    return improved.astype(np.int64)

@@ -1,0 +1,259 @@
+"""2-D (checkerboard) distributed SSSP engine.
+
+The 1-D engine's alltoallv has up to P-1 partners per rank per superstep.
+At 10^5 ranks that fan-out is untenable, which is why record-scale Graph500
+codes decompose the *adjacency matrix* over an R x C process grid: edge
+(u, v) lives at grid position (grid_row(owner(u)), grid_col(owner(v))), so
+each superstep needs only
+
+* a **row broadcast** of the active frontier (C-1 partners), and
+* a **column reduce** of relaxation candidates toward vertex owners
+  (R-1 partners),
+
+≈ 2·sqrt(P) partners total.  The price is frontier replication across grid
+rows and candidate duplication across grid columns.
+
+The relaxation schedule here is frontier (chaotic) relaxation — the 2-D
+scheme's communication structure is what this module exists to measure;
+the ∆-stepping ordering lives in the 1-D engine.  Answers are exact either
+way (tests compare both against Dijkstra).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coalescing import dedup_min
+from repro.core.relaxation import frontier_edges, scatter_min
+from repro.core.result import SSSPResult, derive_parents
+from repro.graph.csr import CSRGraph, build_csr
+from repro.graph.types import EdgeList
+from repro.partition import block1d, make_grid
+from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.machine import MachineSpec, small_cluster
+
+__all__ = ["distributed_sssp_2d", "TwoDRun"]
+
+_INF = np.inf
+
+
+@dataclass
+class TwoDRun:
+    """Outcome of a 2-D engine run."""
+
+    result: SSSPResult
+    rows: int
+    cols: int
+    simulated_seconds: float
+    time_breakdown: dict[str, float]
+    trace_summary: dict[str, float | int]
+    max_partners_per_rank: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_ranks(self) -> int:
+        return self.rows * self.cols
+
+    def teps(self, graph: CSRGraph) -> float:
+        if self.simulated_seconds <= 0:
+            raise ValueError("run has no positive simulated time")
+        return self.result.traversed_edges(graph) / self.simulated_seconds
+
+
+class _GridRank:
+    """One rank of the R x C grid: an edge block plus (maybe) owned vertices."""
+
+    def __init__(
+        self,
+        rank: int,
+        rows: int,
+        cols: int,
+        graph: CSRGraph,
+        owner: np.ndarray,
+        owned: np.ndarray,
+    ) -> None:
+        self.rank = rank
+        self._owner = owner
+        self.grid_row = rank // cols
+        self.grid_col = rank % cols
+        self.rows = rows
+        self.cols = cols
+        n = graph.num_vertices
+        self.owned = owned
+        self.owned_mask = np.zeros(n, dtype=bool)
+        self.owned_mask[owned] = True
+        # Edge block: sources owned by ranks in this grid row, targets owned
+        # by ranks in this grid column.
+        src_all = np.repeat(np.arange(n, dtype=np.int64), graph.out_degree)
+        src_row = owner[src_all] // cols
+        dst_col = owner[graph.adj] % cols
+        mask = (src_row == self.grid_row) & (dst_col == self.grid_col)
+        self.block = build_csr(
+            EdgeList(src_all[mask], graph.adj[mask], graph.weight[mask], n),
+            symmetrize=False,
+            drop_self_loops=False,
+            dedup=False,
+        )
+        # Authoritative distances for owned vertices; replicated frontier
+        # distances for this grid row's sources.
+        self.dist = np.full(n, _INF, dtype=np.float64)
+        self.frontier = np.empty(0, dtype=np.int64)  # owned, newly improved
+        self.step_edges = 0
+        self.step_bytes = 0
+
+    # -- phase 1: frontier broadcast along the grid row --------------------
+
+    def broadcast_frontier(self) -> dict[int, Message]:
+        """Send owned active vertices to the other ranks of this grid row."""
+        out: dict[int, Message] = {}
+        if self.frontier.size == 0:
+            return out
+        self.frontier = np.unique(self.frontier)
+        msg = Message(vertex=self.frontier, dist=self.dist[self.frontier])
+        for c in range(self.cols):
+            if c != self.grid_col:
+                dst = self.grid_row * self.cols + c
+                out[dst] = msg
+                self.step_bytes += msg.nbytes
+        return out
+
+    def receive_frontier(self, msg: Message | None) -> None:
+        if msg is None:
+            return
+        v = msg["vertex"]
+        np.minimum.at(self.dist, v, msg["dist"])
+        self.frontier = np.concatenate([self.frontier, v])
+
+    # -- phase 2: local relax + column reduce ------------------------------
+
+    def relax_block(self) -> dict[int, Message]:
+        """Relax the block's edges out of the frontier; route candidates."""
+        if self.frontier.size == 0:
+            return {}
+        frontier = np.unique(self.frontier)
+        self.frontier = np.empty(0, dtype=np.int64)
+        src, dst, w = frontier_edges(self.block, frontier)
+        self.step_edges += int(src.size)
+        if src.size == 0:
+            return {}
+        cands = self.dist[src] + w
+        # Send-side coalescing: one minimum per target.
+        targets, best = dedup_min(dst, cands)
+        # Candidates that cannot improve our own replica are dead already.
+        keep = best < self.dist[targets]
+        targets, best = targets[keep], best[keep]
+        if targets.size == 0:
+            return {}
+        mine = self.owned_mask[targets]
+        self._apply(targets[mine], best[mine])
+        rem_t, rem_b = targets[~mine], best[~mine]
+        if rem_t.size == 0:
+            return {}
+        # Owners of these targets sit in this grid column by construction.
+        return self._route_column(rem_t, rem_b)
+
+    def _route_column(self, targets: np.ndarray, best: np.ndarray) -> dict[int, Message]:
+        out: dict[int, Message] = {}
+        owner_rank = self._owner[targets]
+        order = np.argsort(owner_rank, kind="stable")
+        so, st, sb = owner_rank[order], targets[order], best[order]
+        cuts = np.flatnonzero(np.diff(so)) + 1
+        for dst_rank, t_chunk, b_chunk in zip(
+            so[np.concatenate(([0], cuts))], np.split(st, cuts), np.split(sb, cuts)
+        ):
+            msg = Message(vertex=t_chunk, dist=b_chunk)
+            self.step_bytes += msg.nbytes
+            out[int(dst_rank)] = msg
+        return out
+
+    def receive_candidates(self, msg: Message | None) -> None:
+        if msg is None:
+            return
+        self._apply(msg["vertex"], msg["dist"])
+
+    def _apply(self, targets: np.ndarray, cands: np.ndarray) -> None:
+        improved = scatter_min(self.dist, targets, cands)
+        improved = improved[self.owned_mask[improved]]
+        if improved.size:
+            self.frontier = np.concatenate([self.frontier, improved])
+
+    def take_step_work(self) -> tuple[int, int]:
+        work = (self.step_edges, self.step_bytes)
+        self.step_edges = 0
+        self.step_bytes = 0
+        return work
+
+
+def distributed_sssp_2d(
+    graph: CSRGraph,
+    source: int,
+    num_ranks: int = 16,
+    machine: MachineSpec | None = None,
+    grid: tuple[int, int] | None = None,
+) -> TwoDRun:
+    """Exact SSSP with 2-D frontier relaxation on a process grid.
+
+    ``grid`` defaults to the most-square factorization of ``num_ranks``.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    rows, cols = grid if grid is not None else make_grid(num_ranks)
+    if rows * cols != num_ranks:
+        raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
+    machine = machine or small_cluster(max(num_ranks, 1))
+    fabric = Fabric(machine, num_ranks)
+    part = block1d(n, num_ranks)
+    owner = np.asarray(part.owner_array)
+    ranks = [
+        _GridRank(r, rows, cols, graph, owner, part.vertices_of(r))
+        for r in range(num_ranks)
+    ]
+    src_rank = ranks[int(owner[source])]
+    src_rank.dist[source] = 0.0
+    src_rank.frontier = np.array([source], dtype=np.int64)
+
+    rounds = 0
+    max_partners = 0
+    while True:
+        active = np.array([float(r.frontier.size) for r in ranks])
+        if fabric.allreduce(active, op="sum") == 0:
+            break
+        rounds += 1
+        # Phase 1: row broadcast of owned frontiers.
+        bcast = [r.broadcast_frontier() for r in ranks]
+        max_partners = max(max_partners, max((len(o) for o in bcast), default=0))
+        inboxes = fabric.exchange(bcast)
+        for r, inbox in zip(ranks, inboxes):
+            r.receive_frontier(inbox)
+        # Phase 2: block relaxation + column reduce to owners.
+        reduce_out = [r.relax_block() for r in ranks]
+        max_partners = max(max_partners, max((len(o) for o in reduce_out), default=0))
+        inboxes = fabric.exchange(reduce_out)
+        for r, inbox in zip(ranks, inboxes):
+            r.receive_candidates(inbox)
+        work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
+        fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+
+    dist = np.full(n, _INF, dtype=np.float64)
+    for r in ranks:
+        dist[r.owned] = r.dist[r.owned]
+    result = SSSPResult(
+        source=source, dist=dist, parent=derive_parents(graph, dist, source)
+    )
+    result.counters.add("rounds", rounds)
+    result.counters.add(
+        "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
+    )
+    result.meta.update(algorithm="distributed_sssp_2d", grid=f"{rows}x{cols}")
+    return TwoDRun(
+        result=result,
+        rows=rows,
+        cols=cols,
+        simulated_seconds=fabric.clock.total,
+        time_breakdown=fabric.clock.breakdown(),
+        trace_summary=fabric.trace.summary(),
+        max_partners_per_rank=max_partners,
+    )

@@ -1,0 +1,169 @@
+"""CSR (compressed sparse row) graph construction.
+
+Construction follows the Graph500 "kernel 1" contract: the raw generator
+edge list is turned into a queryable data structure, and the allowed
+clean-ups are applied — the graph is symmetrized (the benchmark graph is
+undirected), self-loops are dropped, and parallel edges are collapsed
+keeping the *minimum* weight (any SSSP distance is unchanged by this, which
+is why the spec permits it).
+
+Everything is numpy: lexsort + run-length reduction, no Python loops over
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.types import VERTEX_DTYPE, WEIGHT_DTYPE, EdgeList
+
+__all__ = ["CSRGraph", "build_csr"]
+
+
+@dataclass
+class CSRGraph:
+    """An immutable weighted graph in CSR form.
+
+    ``indptr`` has length ``num_vertices + 1``; the out-neighbors of vertex
+    ``v`` are ``adj[indptr[v]:indptr[v+1]]`` with parallel ``weight``
+    entries, sorted by neighbor id.
+    """
+
+    indptr: np.ndarray
+    adj: np.ndarray
+    weight: np.ndarray
+    num_vertices: int
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.adj = np.ascontiguousarray(self.adj, dtype=VERTEX_DTYPE)
+        self.weight = np.ascontiguousarray(self.weight, dtype=WEIGHT_DTYPE)
+        self.num_vertices = int(self.num_vertices)
+        if self.indptr.shape != (self.num_vertices + 1,):
+            raise ValueError(
+                f"indptr length {self.indptr.size} != num_vertices+1 ({self.num_vertices + 1})"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.adj.size:
+            raise ValueError("indptr must start at 0 and end at num_edges")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.adj.shape != self.weight.shape:
+            raise ValueError("adj and weight length mismatch")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges stored (2x the undirected edge count)."""
+        return int(self.adj.size)
+
+    @property
+    def out_degree(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adj[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        return self.weight[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree_of(self, vs: np.ndarray) -> np.ndarray:
+        vs = np.asarray(vs, dtype=np.int64)
+        return self.indptr[vs + 1] - self.indptr[vs]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.adj.nbytes + self.weight.nbytes)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < nbrs.size and nbrs[i] == v)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge (u, v); raises ``KeyError`` when absent."""
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        if i < nbrs.size and nbrs[i] == v:
+            return float(self.weight[self.indptr[u] + i])
+        raise KeyError(f"edge ({u}, {v}) not present")
+
+    def subgraph_rows(self, rows: np.ndarray) -> "CSRGraph":
+        """CSR holding only the out-rows of ``rows`` (other rows empty).
+
+        Vertex ids are unchanged; this is what per-rank local graphs use.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        keep = np.zeros(self.num_vertices, dtype=bool)
+        keep[rows] = True
+        lengths = np.where(keep, self.out_degree, 0)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        take = _ranges_to_indices(self.indptr[:-1][keep], self.indptr[1:][keep])
+        return CSRGraph(indptr, self.adj[take], self.weight[take], self.num_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+
+
+def _ranges_to_indices(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], stops[i])`` without a Python loop.
+
+    Classic cumsum trick: fill an array of +1 steps, then overwrite the
+    first position of each range with the jump from the previous range's
+    last value to this range's start.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonempty = lengths > 0
+    ne_starts = starts[nonempty]
+    ne_lengths = lengths[nonempty]
+    firsts = np.zeros(ne_starts.size, dtype=np.int64)
+    np.cumsum(ne_lengths[:-1], out=firsts[1:])
+    deltas = np.ones(total, dtype=np.int64)
+    deltas[0] = ne_starts[0]
+    deltas[firsts[1:]] = ne_starts[1:] - (ne_starts[:-1] + ne_lengths[:-1] - 1)
+    return np.cumsum(deltas)
+
+
+def build_csr(
+    edges: EdgeList,
+    symmetrize: bool = True,
+    drop_self_loops: bool = True,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from an edge list (Graph500 kernel 1).
+
+    ``symmetrize`` inserts the reverse of every edge with the same weight
+    (the benchmark graph is undirected).  ``dedup`` collapses parallel edges
+    to their minimum weight — distance-preserving and spec-sanctioned.
+    """
+    n = edges.num_vertices
+    src, dst, w = edges.src, edges.dst, edges.weight
+    if symmetrize:
+        src = np.concatenate([src, edges.dst])
+        dst = np.concatenate([dst, edges.src])
+        w = np.concatenate([w, edges.weight])
+    if drop_self_loops:
+        mask = src != dst
+        src, dst, w = src[mask], dst[mask], w[mask]
+    if src.size:
+        order = np.lexsort((dst, src))
+        src, dst, w = src[order], dst[order], w[order]
+        if dedup:
+            boundary = np.empty(src.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(src[1:], src[:-1], out=boundary[1:])
+            boundary[1:] |= dst[1:] != dst[:-1]
+            starts = np.flatnonzero(boundary)
+            w = np.minimum.reduceat(w, starts)
+            src = src[starts]
+            dst = dst[starts]
+    counts = np.bincount(src, minlength=n) if src.size else np.zeros(n, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, dst, w, n)

@@ -1,0 +1,150 @@
+"""Graph500 Kronecker (R-MAT) graph generator.
+
+The Graph500 specification defines the benchmark graph as a stochastic
+Kronecker graph: each of ``edgefactor * 2**scale`` undirected edges is
+placed by descending ``scale`` levels of a 2x2 probability matrix
+
+    [[A, B],      A=0.57, B=0.19,
+     [C, D]]      C=0.19, D=0.05,
+
+choosing a quadrant per level, which fixes one bit of the source and one bit
+of the destination id per level.  Vertex ids are then scrambled by a random
+permutation so that locality cannot be exploited by vertex order, and each
+edge receives a uniform [0, 1) weight.
+
+Two properties matter for the reproduction:
+
+* **Determinism and slice-parallelism.**  Edge ``k`` is a pure function of
+  ``(seed, k)`` through the counter-based PRNG, so
+  :func:`kronecker_edge_slice` lets every simulated rank materialize exactly
+  its share of edges with no communication and no generator state — the same
+  structure the real distributed generator has.
+* **Skew.**  The A-heavy recurrence produces the power-law degree
+  distribution whose hub vertices drive the paper's degree-aware
+  optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.types import VERTEX_DTYPE, EdgeList
+from repro.utils.prng import CounterRNG
+
+__all__ = ["KroneckerSpec", "generate_kronecker", "kronecker_edge_slice"]
+
+# Graph500 initiator matrix.
+_A, _B, _C, _D = 0.57, 0.19, 0.19, 0.05
+
+# Stream ids for the independent random streams the generator uses.
+_STREAM_QUADRANT = 1
+_STREAM_WEIGHT = 2
+_STREAM_PERMUTE = 3
+_STREAM_DIRECTION = 4
+
+
+@dataclass(frozen=True)
+class KroneckerSpec:
+    """Parameters of a Graph500 Kronecker graph.
+
+    ``scale`` is log2 of the vertex count; ``edgefactor`` is the ratio of
+    generated (undirected) edges to vertices — 16 in the official benchmark.
+    """
+
+    scale: int
+    edgefactor: int = 16
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1, got {self.scale}")
+        if self.scale > 48:
+            raise ValueError(f"scale {self.scale} too large to address with int64 pairs")
+        if self.edgefactor < 1:
+            raise ValueError(f"edgefactor must be >= 1, got {self.edgefactor}")
+
+    @property
+    def num_vertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def num_edges(self) -> int:
+        return self.edgefactor << self.scale
+
+
+def _edge_endpoints(spec: KroneckerSpec, edge_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Compute raw (pre-permutation) endpoints for the given edge indices.
+
+    For each edge and each level we draw one uniform and pick the quadrant
+    by the cumulative thresholds of (A, B, C, D).  Noise-free Graph500
+    recurrence: the same matrix is used at every level.
+    """
+    n = edge_ids.size
+    src = np.zeros(n, dtype=np.uint64)
+    dst = np.zeros(n, dtype=np.uint64)
+    rng = CounterRNG(spec.seed, _STREAM_QUADRANT)
+    scale = np.uint64(spec.scale)
+    with np.errstate(over="ignore"):
+        base = edge_ids.astype(np.uint64) * scale
+        for level in range(spec.scale):
+            u = rng.uniform_at(base + np.uint64(level))
+            # Quadrant -> (src bit, dst bit): A=(0,0) B=(0,1) C=(1,0) D=(1,1)
+            src_bit = (u >= _A + _B).astype(np.uint64)
+            dst_bit = ((u >= _A) & (u < _A + _B) | (u >= _A + _B + _C)).astype(np.uint64)
+            shift = np.uint64(level)
+            src |= src_bit << shift
+            dst |= dst_bit << shift
+    return src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE)
+
+
+def _permutation(spec: KroneckerSpec) -> np.ndarray:
+    """The benchmark's random vertex relabeling (pure function of the seed)."""
+    return CounterRNG(spec.seed, _STREAM_PERMUTE).shuffle_permutation(spec.num_vertices)
+
+
+def kronecker_edge_slice(
+    spec: KroneckerSpec,
+    start: int,
+    stop: int,
+    permutation: np.ndarray | None = None,
+) -> EdgeList:
+    """Materialize edges ``[start, stop)`` of the graph defined by ``spec``.
+
+    Slices are bit-identical fragments of the full edge list: concatenating
+    all slices in order equals :func:`generate_kronecker`'s edges.  This is
+    the entry point the distributed harness uses — each rank generates its
+    own contiguous slice.
+    """
+    if not (0 <= start <= stop <= spec.num_edges):
+        raise ValueError(f"invalid slice [{start}, {stop}) of {spec.num_edges} edges")
+    edge_ids = np.arange(start, stop, dtype=np.int64)
+    src, dst = _edge_endpoints(spec, edge_ids)
+    if permutation is None:
+        permutation = _permutation(spec)
+    src = permutation[src]
+    dst = permutation[dst]
+    # Randomize undirected orientation so that directed-degree artifacts of
+    # the recurrence do not leak into 1-D partitioners.
+    flip = CounterRNG(spec.seed, _STREAM_DIRECTION).at(edge_ids) & np.uint64(1)
+    flip = flip.astype(bool)
+    src2 = np.where(flip, dst, src)
+    dst2 = np.where(flip, src, dst)
+    weight = CounterRNG(spec.seed, _STREAM_WEIGHT).uniform_pos_at(edge_ids)
+    return EdgeList(src2, dst2, weight, spec.num_vertices)
+
+
+def generate_kronecker(
+    scale: int,
+    edgefactor: int = 16,
+    seed: int = 2022,
+) -> EdgeList:
+    """Generate the full Graph500 Kronecker edge list for ``scale``.
+
+    Returns the raw undirected edge list (self-loops and multi-edges
+    included, as the spec requires the generator to emit them; they are
+    handled during CSR construction).
+    """
+    spec = KroneckerSpec(scale=scale, edgefactor=edgefactor, seed=seed)
+    return kronecker_edge_slice(spec, 0, spec.num_edges)

@@ -1,0 +1,128 @@
+"""Graph500 kernel-2 (BFS) benchmark driver.
+
+Mirrors :mod:`repro.graph500.harness` for the BFS kernel: generate, build,
+sample 64 roots, run the distributed direction-optimizing BFS per root on
+the simulated machine, validate each tree, aggregate harmonic-mean TEPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bfs.dist_bfs import distributed_bfs
+from repro.bfs.validation import validate_bfs
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.roots import sample_roots
+from repro.graph500.spec import GRAPH500_EDGEFACTOR, GRAPH500_NUM_ROOTS
+from repro.graph500.teps import teps_summary
+from repro.graph500.validation import ValidationReport
+from repro.simmpi.machine import MachineSpec, small_cluster
+from repro.utils.stats import Summary
+from repro.utils.timing import Timer
+
+__all__ = ["BFSRootRun", "BFSBenchmarkResult", "run_graph500_bfs"]
+
+
+@dataclass
+class BFSRootRun:
+    """Outcome of kernel 2 from one root."""
+
+    root: int
+    simulated_seconds: float
+    teps: float
+    traversed_edges: int
+    levels: int
+    validation: ValidationReport
+    counters: dict[str, int]
+    trace: dict[str, float | int]
+
+
+@dataclass
+class BFSBenchmarkResult:
+    """One kernel-2 benchmark invocation."""
+
+    scale: int
+    edgefactor: int
+    seed: int
+    num_ranks: int
+    machine_name: str
+    direction: str
+    num_vertices: int
+    num_edges_csr: int
+    construction_wall_seconds: float
+    roots: list[BFSRootRun] = field(default_factory=list)
+
+    @property
+    def teps(self) -> Summary:
+        return teps_summary(np.array([r.teps for r in self.roots]))
+
+    @property
+    def all_valid(self) -> bool:
+        return all(r.validation.ok for r in self.roots)
+
+    def row(self) -> dict[str, object]:
+        return {
+            "kernel": "BFS",
+            "scale": self.scale,
+            "ranks": self.num_ranks,
+            "direction": self.direction,
+            "roots": len(self.roots),
+            "hmean_TEPS": self.teps.hmean,
+            "valid": self.all_valid,
+        }
+
+
+def run_graph500_bfs(
+    scale: int,
+    num_ranks: int = 8,
+    edgefactor: int = GRAPH500_EDGEFACTOR,
+    seed: int = 2022,
+    num_roots: int = GRAPH500_NUM_ROOTS,
+    machine: MachineSpec | None = None,
+    direction: str = "auto",
+    validate: bool = True,
+) -> BFSBenchmarkResult:
+    """Run the complete Graph500 BFS benchmark at the given scale."""
+    machine = machine or small_cluster(max(num_ranks, 1))
+    build_timer = Timer()
+    with build_timer:
+        graph = build_csr(generate_kronecker(scale, edgefactor=edgefactor, seed=seed))
+    roots = sample_roots(graph, num_roots, seed=seed)
+    runs: list[BFSRootRun] = []
+    for root in roots:
+        run = distributed_bfs(
+            graph, int(root), num_ranks=num_ranks, machine=machine, direction=direction
+        )
+        traversed = run.result.traversed_edges(graph)
+        report = (
+            validate_bfs(graph, run.result)
+            if validate
+            else ValidationReport(ok=True, failures=[])
+        )
+        runs.append(
+            BFSRootRun(
+                root=int(root),
+                simulated_seconds=run.simulated_seconds,
+                teps=traversed / run.simulated_seconds,
+                traversed_edges=traversed,
+                levels=run.result.counters["levels"],
+                validation=report,
+                counters=run.result.counters.as_dict(),
+                trace=run.trace_summary,
+            )
+        )
+    return BFSBenchmarkResult(
+        scale=scale,
+        edgefactor=edgefactor,
+        seed=seed,
+        num_ranks=num_ranks,
+        machine_name=machine.name,
+        direction=direction,
+        num_vertices=graph.num_vertices,
+        num_edges_csr=graph.num_edges,
+        construction_wall_seconds=build_timer.seconds,
+        roots=runs,
+    )

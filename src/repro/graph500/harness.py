@@ -1,0 +1,172 @@
+"""The end-to-end Graph500 SSSP benchmark driver.
+
+``run_graph500_sssp`` executes the full benchmark protocol on the simulated
+machine: generate the Kronecker edge list, build the CSR (kernel 1, wall-
+clock timed), sample roots, run distributed ∆-stepping per root (kernel 3,
+simulated-time measured), validate every run, and aggregate TEPS.
+
+The harness is what every evaluation experiment calls; its knobs mirror the
+real benchmark driver's command line (scale, edgefactor, roots, ranks,
+machine, algorithm configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SSSPConfig
+from repro.core.dist_sssp import DistSSSPRun, distributed_sssp
+from repro.graph.csr import CSRGraph, build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.roots import sample_roots
+from repro.graph500.spec import GRAPH500_EDGEFACTOR, GRAPH500_NUM_ROOTS
+from repro.graph500.teps import teps_summary
+from repro.graph500.validation import ValidationReport, validate_sssp
+from repro.simmpi.machine import MachineSpec, small_cluster
+from repro.utils.stats import Summary
+from repro.utils.timing import Timer
+
+__all__ = ["RootRun", "BenchmarkResult", "run_graph500_sssp", "run_sssp_on_graph"]
+
+
+@dataclass
+class RootRun:
+    """Outcome of kernel 3 from one root."""
+
+    root: int
+    simulated_seconds: float
+    teps: float
+    traversed_edges: int
+    validation: ValidationReport
+    counters: dict[str, int]
+    time_breakdown: dict[str, float]
+    trace: dict[str, float | int]
+    work_imbalance: float
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything one benchmark invocation produced."""
+
+    scale: int
+    edgefactor: int
+    seed: int
+    num_ranks: int
+    machine_name: str
+    config: SSSPConfig
+    num_vertices: int
+    num_edges_generated: int
+    num_edges_csr: int
+    generation_wall_seconds: float
+    construction_wall_seconds: float
+    roots: list[RootRun] = field(default_factory=list)
+
+    @property
+    def teps(self) -> Summary:
+        return teps_summary(np.array([r.teps for r in self.roots]))
+
+    @property
+    def all_valid(self) -> bool:
+        return all(r.validation.ok for r in self.roots)
+
+    @property
+    def mean_simulated_seconds(self) -> float:
+        return float(np.mean([r.simulated_seconds for r in self.roots]))
+
+    def totals(self, key: str) -> int:
+        """Sum of a counter across roots (e.g. 'edges_relaxed')."""
+        return int(sum(r.counters.get(key, 0) for r in self.roots))
+
+    def row(self) -> dict[str, object]:
+        """One summary row for report tables."""
+        s = self.teps
+        return {
+            "scale": self.scale,
+            "ranks": self.num_ranks,
+            "variant": self.config.variant_name(),
+            "roots": len(self.roots),
+            "hmean_TEPS": s.hmean,
+            "valid": self.all_valid,
+            "mean_sim_s": self.mean_simulated_seconds,
+        }
+
+
+def run_sssp_on_graph(
+    graph: CSRGraph,
+    roots: np.ndarray,
+    num_ranks: int,
+    machine: MachineSpec,
+    config: SSSPConfig,
+    validate: bool = True,
+) -> list[RootRun]:
+    """Kernel-3 loop: one distributed run per root, each validated."""
+    runs: list[RootRun] = []
+    for root in roots:
+        run: DistSSSPRun = distributed_sssp(
+            graph, int(root), num_ranks=num_ranks, machine=machine, config=config
+        )
+        traversed = run.result.traversed_edges(graph)
+        report = (
+            validate_sssp(graph, run.result)
+            if validate
+            else ValidationReport(ok=True, failures=[])
+        )
+        runs.append(
+            RootRun(
+                root=int(root),
+                simulated_seconds=run.simulated_seconds,
+                teps=traversed / run.simulated_seconds,
+                traversed_edges=traversed,
+                validation=report,
+                counters=run.result.counters.as_dict(),
+                time_breakdown=run.time_breakdown,
+                trace=run.trace_summary,
+                work_imbalance=run.work_imbalance,
+            )
+        )
+    return runs
+
+
+def run_graph500_sssp(
+    scale: int,
+    num_ranks: int = 8,
+    edgefactor: int = GRAPH500_EDGEFACTOR,
+    seed: int = 2022,
+    num_roots: int = GRAPH500_NUM_ROOTS,
+    machine: MachineSpec | None = None,
+    config: SSSPConfig | None = None,
+    validate: bool = True,
+) -> BenchmarkResult:
+    """Run the complete Graph500 SSSP benchmark at the given scale.
+
+    ``num_roots`` defaults to the official 64 but experiments routinely use
+    fewer for sweeps; validation can be disabled for timing-only runs.
+    """
+    if config is None:
+        config = SSSPConfig()
+    if machine is None:
+        machine = small_cluster(max(num_ranks, 1))
+    gen_timer = Timer()
+    with gen_timer:
+        edges = generate_kronecker(scale, edgefactor=edgefactor, seed=seed)
+    build_timer = Timer()
+    with build_timer:
+        graph = build_csr(edges)
+    roots = sample_roots(graph, num_roots, seed=seed)
+    runs = run_sssp_on_graph(graph, roots, num_ranks, machine, config, validate)
+    return BenchmarkResult(
+        scale=scale,
+        edgefactor=edgefactor,
+        seed=seed,
+        num_ranks=num_ranks,
+        machine_name=machine.name,
+        config=config,
+        num_vertices=graph.num_vertices,
+        num_edges_generated=edges.num_edges,
+        num_edges_csr=graph.num_edges,
+        generation_wall_seconds=gen_timer.seconds,
+        construction_wall_seconds=build_timer.seconds,
+        roots=runs,
+    )

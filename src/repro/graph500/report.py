@@ -1,0 +1,97 @@
+"""Official-style Graph500 output block rendering.
+
+The benchmark specifies the exact set of statistics a submission reports;
+this module renders them from a :class:`~repro.graph500.harness.BenchmarkResult`
+as the familiar ``key: value`` block, plus compact table rows used by the
+experiment scripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph500.harness import BenchmarkResult
+from repro.graph500.spec import problem_class
+
+__all__ = ["render_output_block", "render_table", "rows_to_csv"]
+
+
+def render_output_block(result: BenchmarkResult) -> str:
+    """Render the spec's output statistics block as text."""
+    teps = result.teps
+    sims = np.array([r.simulated_seconds for r in result.roots])
+    lines = [
+        f"SCALE: {result.scale}",
+        f"edgefactor: {result.edgefactor}",
+        f"NBFS: {len(result.roots)}",
+        f"problem_class: {problem_class(result.scale)}",
+        f"num_vertices: {result.num_vertices}",
+        f"num_edges_generated: {result.num_edges_generated}",
+        f"num_edges_constructed: {result.num_edges_csr}",
+        f"machine: {result.machine_name} x {result.num_ranks} ranks",
+        f"variant: {result.config.variant_name()}",
+        f"construction_time: {result.construction_wall_seconds:.6g} s (wall)",
+        f"generation_time: {result.generation_wall_seconds:.6g} s (wall)",
+        f"min_time: {sims.min():.6g} s (simulated)",
+        f"mean_time: {sims.mean():.6g} s (simulated)",
+        f"max_time: {sims.max():.6g} s (simulated)",
+        f"min_TEPS: {teps.minimum:.6g}",
+        f"firstquartile_TEPS: {teps.q1:.6g}",
+        f"median_TEPS: {teps.median:.6g}",
+        f"thirdquartile_TEPS: {teps.q3:.6g}",
+        f"max_TEPS: {teps.maximum:.6g}",
+        f"harmonic_mean_TEPS: {teps.hmean:.6g}",
+        f"harmonic_stddev_TEPS: {teps.hmean_stderr:.6g}",
+        f"validation: {'PASSED' if result.all_valid else 'FAILED'}",
+    ]
+    return "\n".join(lines)
+
+
+def render_table(rows: list[dict[str, object]], title: str = "") -> str:
+    """Render dict rows as a fixed-width ASCII table (experiment output)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(rows[0])
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append([_fmt(row.get(c)) for c in cols])
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    sep = "  "
+    header = sep.join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    rule = sep.join("-" * w for w in widths)
+    body = [sep.join(r[i].ljust(widths[i]) for i in range(len(cols))) for r in rendered]
+    out = [header, rule, *body]
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)
+
+
+def rows_to_csv(rows: list[dict[str, object]]) -> str:
+    """Render dict rows as CSV text (plotting-friendly experiment export).
+
+    Columns come from the first row; values are comma-escaped by quoting.
+    """
+    if not rows:
+        return ""
+    cols = list(rows[0])
+
+    def esc(v: object) -> str:
+        s = str(v)
+        if "," in s or '"' in s or "\n" in s:
+            s = '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(esc(c) for c in cols)]
+    for row in rows:
+        lines.append(",".join(esc(row.get(c, "")) for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.4g}"
+        return f"{v:.4f}".rstrip("0").rstrip(".")
+    return str(v)

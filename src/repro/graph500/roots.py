@@ -1,0 +1,34 @@
+"""Search-key (root) sampling per the Graph500 spec.
+
+Roots are sampled uniformly without replacement from vertices with at least
+one edge — a zero-degree root would make the kernel a no-op and TEPS
+undefined.  Sampling is deterministic in the seed so benchmark runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.prng import CounterRNG
+
+__all__ = ["sample_roots"]
+
+_STREAM_ROOTS = 17
+
+
+def sample_roots(graph: CSRGraph, num_roots: int, seed: int = 2022) -> np.ndarray:
+    """Sample up to ``num_roots`` distinct non-isolated vertices.
+
+    If the graph has fewer non-isolated vertices than requested, all of
+    them are returned (the spec's behaviour for tiny graphs).
+    """
+    if num_roots < 1:
+        raise ValueError("num_roots must be >= 1")
+    candidates = np.flatnonzero(graph.out_degree > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no non-isolated vertices to sample roots from")
+    k = min(num_roots, candidates.size)
+    perm = CounterRNG(seed, _STREAM_ROOTS).shuffle_permutation(candidates.size)
+    return np.sort(candidates[perm[:k]]).astype(np.int64)

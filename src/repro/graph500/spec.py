@@ -1,0 +1,40 @@
+"""Graph500 specification constants.
+
+The benchmark fixes the workload completely: a Kronecker graph with
+edgefactor 16, uniform (0, 1] edge weights for the SSSP kernel, and 64
+search keys sampled from the non-isolated vertices.  Problem classes name
+the famous scales (the paper's headline run is a custom scale-42-class
+problem: ~4.4 trillion vertices, ~140 trillion directed edges after
+symmetrization of the 70T generated edges).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GRAPH500_EDGEFACTOR",
+    "GRAPH500_NUM_ROOTS",
+    "PROBLEM_CLASSES",
+    "problem_class",
+]
+
+GRAPH500_EDGEFACTOR = 16
+GRAPH500_NUM_ROOTS = 64
+
+# Official toy..huge classes plus the paper's record scale.
+PROBLEM_CLASSES = {
+    "toy": 26,
+    "mini": 29,
+    "small": 32,
+    "medium": 36,
+    "large": 39,
+    "huge": 42,
+}
+
+
+def problem_class(scale: int) -> str:
+    """Name of the largest official class at or below ``scale``."""
+    best = "sub-toy"
+    for name, s in sorted(PROBLEM_CLASSES.items(), key=lambda kv: kv[1]):
+        if scale >= s:
+            best = name
+    return best

@@ -1,0 +1,23 @@
+"""TEPS (traversed edges per second) computation and aggregation.
+
+The Graph500 metric: for one root, TEPS = (undirected input edges with at
+least one reached endpoint) / (kernel time).  Across the root sample the
+spec mandates the *harmonic* mean — TEPS is a rate, and the harmonic mean
+equals total-edges / total-time for equal workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.stats import Summary, summarize
+
+__all__ = ["teps_summary"]
+
+
+def teps_summary(teps_values: np.ndarray) -> Summary:
+    """Spec-conformant aggregate of per-root TEPS values."""
+    teps_values = np.asarray(teps_values, dtype=np.float64)
+    if np.any(teps_values <= 0):
+        raise ValueError("TEPS values must be positive (roots must reach >= 1 edge)")
+    return summarize(teps_values)

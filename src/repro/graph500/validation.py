@@ -1,0 +1,159 @@
+"""Graph500 SSSP result validation.
+
+Every kernel-3 run must be validated; a record submission with an invalid
+tree is void.  The spec's five checks, adapted to SSSP (distances instead
+of BFS levels):
+
+1. the root's parent is the root and its distance is zero;
+2. every reached vertex has a reached parent, connected by a real graph
+   edge whose weight exactly closes the distance: ``dist[p] + w(p, v) ==
+   dist[v]``;
+3. no graph edge violates the relaxation (triangle) condition:
+   ``dist[v] <= dist[u] + w(u, v)`` for every edge with ``u`` reached;
+4. reached and unreached vertices are never adjacent, and unreached
+   vertices carry the sentinel parent;
+5. the parent pointers form a forest rooted at the source: following them
+   strictly decreases distance (acyclicity) and terminates at the root.
+
+All checks are whole-array vectorized; the validator runs comfortably on
+every benchmark run rather than on samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import UNREACHABLE_PARENT, SSSPResult
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ValidationReport", "validate_sssp"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one SSSP run."""
+
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _edge_arrays(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.out_degree)
+    return src, graph.adj, graph.weight
+
+
+def validate_sssp(
+    graph: CSRGraph,
+    result: SSSPResult,
+    tolerance: float = 0.0,
+) -> ValidationReport:
+    """Run all five spec checks on ``result``.
+
+    ``tolerance`` relaxes the float comparisons; the library's own
+    implementations pass with the default exact comparison because every
+    distance is literally produced as ``dist[parent] + weight``.
+    """
+    failures: list[str] = []
+    n = graph.num_vertices
+    dist = result.dist
+    parent = result.parent
+    root = result.source
+    reached = np.isfinite(dist)
+
+    # -- check 1: root state ------------------------------------------------
+    if dist[root] != 0.0:
+        failures.append(f"rule 1: dist[root]={dist[root]}, expected 0")
+    if parent[root] != root:
+        failures.append(f"rule 1: parent[root]={parent[root]}, expected {root}")
+
+    # -- check 4 (partial): unreached bookkeeping ----------------------------
+    bad_parent = reached & (parent < 0)
+    bad_parent[root] = False
+    if np.any(bad_parent):
+        failures.append(
+            f"rule 2: {np.count_nonzero(bad_parent)} reached vertices without a parent"
+        )
+    unreached_with_parent = ~reached & (parent != UNREACHABLE_PARENT)
+    if np.any(unreached_with_parent):
+        failures.append(
+            f"rule 4: {np.count_nonzero(unreached_with_parent)} unreached vertices "
+            "carry a parent"
+        )
+
+    # -- check 2: tree edges exist and close distances exactly ---------------
+    tree_vs = np.flatnonzero(reached & (parent >= 0))
+    tree_vs = tree_vs[tree_vs != root]
+    if tree_vs.size:
+        ps = parent[tree_vs]
+        if np.any(~reached[ps]):
+            failures.append("rule 2: some parents are unreached")
+        # Locate each (p, v) tree edge with one vectorized binary search:
+        # encode (row, col) as row * n + col — CSR order makes the key array
+        # globally sorted.  n is bounded well below 2^31 in practice, so the
+        # product cannot overflow int64; guard anyway.
+        if n >= np.iinfo(np.int64).max // max(n, 1):
+            raise ValueError("graph too large for vectorized edge validation")
+        w_edge = np.full(tree_vs.size, np.nan)
+        src_rep = np.repeat(np.arange(n, dtype=np.int64), graph.out_degree)
+        key_all = src_rep * n + graph.adj
+        key_tree = ps * n + tree_vs
+        loc = np.searchsorted(key_all, key_tree)
+        valid = loc < key_all.size
+        ok_edge = np.zeros(tree_vs.size, dtype=bool)
+        ok_edge[valid] = key_all[loc[valid]] == key_tree[valid]
+        w_edge[ok_edge] = graph.weight[loc[ok_edge]]
+        if np.any(~ok_edge):
+            failures.append(
+                f"rule 2: {np.count_nonzero(~ok_edge)} tree edges missing from graph"
+            )
+        tight = np.abs(dist[ps] + w_edge - dist[tree_vs]) <= tolerance
+        tight |= ~ok_edge  # missing edges already reported above
+        if np.any(~tight):
+            failures.append(
+                f"rule 2: {np.count_nonzero(~tight)} tree edges do not close "
+                "the distance"
+            )
+
+    # -- checks 3 and 4: per-edge conditions ---------------------------------
+    src, dst, w = _edge_arrays(graph)
+    u_reached = reached[src]
+    v_reached = reached[dst]
+    mixed = u_reached != v_reached
+    if np.any(mixed):
+        failures.append(
+            f"rule 4: {np.count_nonzero(mixed)} edges connect reached and "
+            "unreached vertices"
+        )
+    both = u_reached & v_reached
+    slack = dist[dst[both]] - (dist[src[both]] + w[both])
+    if np.any(slack > tolerance):
+        failures.append(
+            f"rule 3: {np.count_nonzero(slack > tolerance)} edges violate the "
+            "relaxation condition"
+        )
+
+    # -- check 5: forest structure -------------------------------------------
+    if tree_vs.size:
+        ps = parent[tree_vs]
+        decreasing = dist[ps] < dist[tree_vs]
+        if np.any(~decreasing):
+            failures.append(
+                f"rule 5: {np.count_nonzero(~decreasing)} parent pointers do not "
+                "decrease distance (cycle risk)"
+            )
+        else:
+            # Strict decrease guarantees acyclicity; verify reachability of the
+            # root by pointer-jumping in O(log n) rounds.
+            hop = parent.copy()
+            hop[root] = root
+            for _ in range(int(np.ceil(np.log2(max(n, 2)))) + 1):
+                hop[tree_vs] = hop[hop[tree_vs]]
+            if np.any(hop[tree_vs] != root):
+                failures.append("rule 5: some tree paths do not terminate at the root")
+
+    return ValidationReport(ok=not failures, failures=failures)

@@ -1,0 +1,65 @@
+"""Partition quality metrics.
+
+These quantify why degree-aware partitioning matters: the load-balance
+experiment (F6) reports ``edge_imbalance`` — max over ranks of owned edges
+divided by the mean — and the cut fraction, for each partitioning strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.oned import Partition1D
+
+__all__ = ["PartitionMetrics", "evaluate_partition"]
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Quality summary of a 1-D partition of a specific graph."""
+
+    kind: str
+    num_ranks: int
+    vertex_imbalance: float  # max/mean owned vertices
+    edge_imbalance: float  # max/mean owned out-edges
+    cut_fraction: float  # fraction of edges whose endpoint is remote
+    max_rank_edges: int
+    mean_rank_edges: float
+
+    def row(self) -> dict[str, float | int | str]:
+        return {
+            "partition": self.kind,
+            "ranks": self.num_ranks,
+            "vertex_imbalance": round(self.vertex_imbalance, 3),
+            "edge_imbalance": round(self.edge_imbalance, 3),
+            "cut_fraction": round(self.cut_fraction, 4),
+        }
+
+
+def evaluate_partition(graph: CSRGraph, part: Partition1D) -> PartitionMetrics:
+    """Compute balance and cut metrics of ``part`` on ``graph``."""
+    if part.num_vertices != graph.num_vertices:
+        raise ValueError("partition and graph vertex counts differ")
+    owner = part.owner_of(np.arange(graph.num_vertices))
+    vcounts = part.counts().astype(np.float64)
+    deg = graph.out_degree
+    ecounts = np.bincount(owner, weights=deg, minlength=part.num_ranks)
+    # Cut edges: destination owned by a different rank than the source.
+    src_owner = np.repeat(owner, deg)
+    dst_owner = owner[graph.adj]
+    cut = float(np.count_nonzero(src_owner != dst_owner))
+    m = max(graph.num_edges, 1)
+    vmean = max(vcounts.mean(), 1e-12)
+    emean = max(ecounts.mean(), 1e-12)
+    return PartitionMetrics(
+        kind=part.kind,
+        num_ranks=part.num_ranks,
+        vertex_imbalance=float(vcounts.max() / vmean),
+        edge_imbalance=float(ecounts.max() / emean),
+        cut_fraction=cut / m,
+        max_rank_edges=int(ecounts.max()),
+        mean_rank_edges=float(emean),
+    )

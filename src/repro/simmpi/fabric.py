@@ -1,0 +1,304 @@
+"""The message fabric: moves numpy buffers between ranks and charges time.
+
+The fabric is the single point through which all inter-rank data flows, so
+it is also where measurement (bytes, messages, supersteps — exact) and
+modeling (seconds — alpha-beta with topology tiers) happen.
+
+A :class:`Message` is a struct-of-arrays bundle (e.g. ``vertex`` ids plus
+tentative ``dist`` values); its wire size is the sum of its arrays' bytes.
+This mirrors how the real codes pack update records into flat send buffers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.simmpi.clock import SimClock
+from repro.simmpi.machine import MachineSpec
+from repro.simmpi.topology import Topology
+from repro.simmpi.trace import CommTrace
+
+__all__ = ["Message", "Fabric"]
+
+
+class Message:
+    """An immutable bundle of equal-length named numpy arrays."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, **fields: np.ndarray) -> None:
+        if not fields:
+            raise ValueError("a message needs at least one field")
+        lengths = {k: np.asarray(v).shape for k, v in fields.items()}
+        sizes = {s[0] if s else None for s in lengths.values()}
+        if len(sizes) != 1 or any(np.asarray(v).ndim != 1 for v in fields.values()):
+            raise ValueError(f"message fields must be equal-length 1-D arrays, got {lengths}")
+        self.fields = {k: np.ascontiguousarray(v) for k, v in fields.items()}
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.fields[key]
+
+    def __len__(self) -> int:
+        return next(iter(self.fields.values())).shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(v.nbytes for v in self.fields.values()))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.fields)
+
+    @classmethod
+    def concat(cls, messages: Iterable["Message"]) -> "Message | None":
+        """Concatenate compatible messages; ``None`` for an empty iterable."""
+        msgs = [m for m in messages if m is not None]
+        if not msgs:
+            return None
+        names = msgs[0].names
+        for m in msgs[1:]:
+            if m.names != names:
+                raise ValueError(f"incompatible message schemas: {names} vs {m.names}")
+        return cls(**{k: np.concatenate([m[k] for m in msgs]) for k in names})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Message(n={len(self)}, fields={list(self.fields)})"
+
+
+class Fabric:
+    """Bulk-synchronous communication between ``num_ranks`` simulated ranks.
+
+    With ``hierarchical=True`` the cost model routes inter-supernode
+    traffic through supernode leader ranks (gather -> leader exchange ->
+    scatter), the aggregation a 10^5-rank machine needs to avoid per-step
+    O(P) message fan-out.  Payload *delivery* is unchanged — only the
+    modeled time and the forwarded-bytes accounting differ.
+    """
+
+    def __init__(self, machine: MachineSpec, num_ranks: int, hierarchical: bool = False) -> None:
+        self.machine = machine
+        self.topology = Topology(machine, num_ranks)
+        self.num_ranks = num_ranks
+        self.hierarchical = bool(hierarchical)
+        self.clock = SimClock()
+        self.trace = CommTrace(num_ranks)
+        self._alpha = self.topology.alpha_matrix()
+        self._beta = self.topology.beta_matrix()
+        self._tiers = self.topology.tier_matrix()
+        # Per-rank accumulated work units by component, for load-balance reports.
+        self.work_per_rank: dict[str, np.ndarray] = {}
+
+    # -- data movement ----------------------------------------------------
+
+    def exchange(
+        self, outboxes: list[Mapping[int, Message]]
+    ) -> list[Message | None]:
+        """Personalized all-to-all: ``outboxes[src][dst]`` -> inbox per dst.
+
+        Returns, for every rank, the concatenation of all messages addressed
+        to it (sources in rank order), or ``None`` when it received nothing.
+        Charges one superstep of communication time:
+        ``max over ranks of max(send time, recv time) + barrier``.
+        """
+        if len(outboxes) != self.num_ranks:
+            raise ValueError(f"need {self.num_ranks} outboxes, got {len(outboxes)}")
+        p = self.num_ranks
+        bytes_matrix = np.zeros((p, p), dtype=np.int64)
+        msg_count = 0
+        inbound: list[list[Message]] = [[] for _ in range(p)]
+        for src, outbox in enumerate(outboxes):
+            for dst, msg in outbox.items():
+                if not (0 <= dst < p):
+                    raise ValueError(f"rank {src} addressed invalid rank {dst}")
+                if msg is None or len(msg) == 0:
+                    continue
+                bytes_matrix[src, dst] += msg.nbytes
+                msg_count += 1
+                inbound[dst].append(msg)
+        if msg_count == 0:
+            step = 0.0
+        elif self.hierarchical:
+            step = self._hierarchical_step_cost(bytes_matrix)
+        else:
+            step = self._direct_step_cost(bytes_matrix)
+        self.clock.charge("comm", step)
+        self.clock.charge("sync", self.topology.barrier_cost())
+        self.trace.record_exchange(bytes_matrix, self._tiers, msg_count)
+        self.trace.barriers += 1
+        return [Message.concat(msgs) for msgs in inbound]
+
+    def _direct_step_cost(self, bytes_matrix: np.ndarray) -> float:
+        """Each message costs alpha + bytes*beta on both sides; a rank's
+        step cost is the max of its send and receive pipelines."""
+        has_msg = bytes_matrix > 0
+        per_pair = np.where(has_msg, self._alpha + bytes_matrix * self._beta, 0.0)
+        send_time = per_pair.sum(axis=1)
+        recv_time = per_pair.sum(axis=0)
+        return float(np.maximum(send_time, recv_time).max())
+
+    def _hierarchical_step_cost(self, bytes_matrix: np.ndarray) -> float:
+        """Three-stage leader routing for inter-supernode traffic.
+
+        Stage A: members forward their inter-SN payload to the supernode
+        leader (intra-SN hop).  Stage B: leaders exchange aggregated
+        payloads (inter-SN hop).  Stage C: destination leaders scatter to
+        members (intra-SN hop).  Intra-SN traffic still goes direct and
+        overlaps stage A.  The stages serialize; the slowest rank bounds
+        each stage.
+        """
+        m = self.machine
+        sn = self.topology.supernode
+        num_sn = self.topology.num_supernodes()
+        if num_sn == 1:
+            return self._direct_step_cost(bytes_matrix)
+        inter_mask = sn[:, None] != sn[None, :]
+        intra_bytes = np.where(~inter_mask, bytes_matrix, 0)
+        inter_bytes = np.where(inter_mask, bytes_matrix, 0)
+        # Leaders are the first rank of each supernode.
+        leader_of = np.zeros(self.num_ranks, dtype=np.int64)
+        for s in range(num_sn):
+            members = np.flatnonzero(sn == s)
+            leader_of[members] = members[0]
+        is_leader = leader_of == np.arange(self.num_ranks)
+        # Stage A: member -> leader gather of outbound inter-SN payload.
+        out_inter = inter_bytes.sum(axis=1)
+        a_send = np.where(
+            (out_inter > 0) & ~is_leader, m.alpha_intra + out_inter * m.beta_intra, 0.0
+        )
+        a_recv = np.zeros(self.num_ranks)
+        np.add.at(a_recv, leader_of, np.where(~is_leader, out_inter, 0))
+        a_recv = np.where(a_recv > 0, m.alpha_intra + a_recv * m.beta_intra, 0.0)
+        stage_a = float(np.maximum(a_send, a_recv).max())
+        # Forwarded bytes: everything a non-leader handed to its leader, and
+        # everything a destination leader re-sends (stage C), counted as
+        # extra intra-SN traffic.
+        forwarded = int(np.where(~is_leader, out_inter, 0).sum())
+        # Stage B: leader <-> leader aggregated exchange.
+        sn_matrix = np.zeros((num_sn, num_sn), dtype=np.int64)
+        for s1 in range(num_sn):
+            rows = sn == s1
+            for s2 in range(num_sn):
+                if s1 != s2:
+                    sn_matrix[s1, s2] = inter_bytes[np.ix_(rows, sn == s2)].sum()
+        has = sn_matrix > 0
+        per_pair = np.where(has, m.alpha_inter + sn_matrix * m.beta_inter, 0.0)
+        stage_b = float(np.maximum(per_pair.sum(axis=1), per_pair.sum(axis=0)).max())
+        # Stage C: destination leader -> member scatter.
+        in_inter = inter_bytes.sum(axis=0)
+        c_recv = np.where(
+            (in_inter > 0) & ~is_leader, m.alpha_intra + in_inter * m.beta_intra, 0.0
+        )
+        c_send = np.zeros(self.num_ranks)
+        np.add.at(c_send, leader_of, np.where(~is_leader, in_inter, 0))
+        c_send = np.where(c_send > 0, m.alpha_intra + c_send * m.beta_intra, 0.0)
+        stage_c = float(np.maximum(c_send, c_recv).max())
+        forwarded += int(np.where(~is_leader, in_inter, 0).sum())
+        self.trace.bytes_forwarded += forwarded
+        # Direct intra-SN traffic overlaps stage A.
+        has_intra = intra_bytes > 0
+        intra_pair = np.where(has_intra, m.alpha_intra + intra_bytes * m.beta_intra, 0.0)
+        direct = float(
+            np.maximum(intra_pair.sum(axis=1), intra_pair.sum(axis=0)).max()
+        )
+        return max(stage_a, direct) + stage_b + stage_c
+
+    # -- collectives -------------------------------------------------------
+
+    def allreduce(self, values: np.ndarray, op: str = "sum") -> float:
+        """Reduce one scalar contribution per rank; all ranks get the result.
+
+        Charged as a reduce+broadcast latency tree (payloads are a few
+        bytes, so only alpha matters).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_ranks,):
+            raise ValueError(f"expected one value per rank, got shape {values.shape}")
+        ops = {"sum": np.sum, "min": np.min, "max": np.max}
+        if op not in ops:
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        self.clock.charge("sync", 2.0 * self.topology.barrier_cost())
+        self.trace.allreduces += 1
+        return float(ops[op](values))
+
+    def allreduce_any(self, flags: np.ndarray) -> bool:
+        """Logical-OR allreduce (termination detection)."""
+        return self.allreduce(np.asarray(flags, dtype=np.float64), op="max") > 0.0
+
+    def allgather(self, contributions: list[Message | None]) -> list[Message | None]:
+        """Every rank contributes a message; all ranks receive them all.
+
+        Returns, for each rank, the concatenation of every non-empty
+        contribution in rank order (``None`` when nothing was contributed).
+        Modeled as recursive doubling: log2(P) rounds, each moving the
+        accumulated payload, so the per-rank cost is
+        ``alpha * log2(P) + total_bytes * beta`` — far cheaper than the
+        P*(P-1) point-to-point emulation and the reason real codes use the
+        collective for frontier bitmaps.
+        """
+        if len(contributions) != self.num_ranks:
+            raise ValueError(f"need {self.num_ranks} contributions, got {len(contributions)}")
+        nonempty = [m for m in contributions if m is not None and len(m) > 0]
+        total_bytes = sum(m.nbytes for m in nonempty)
+        if nonempty and self.num_ranks > 1:
+            depth = int(np.ceil(np.log2(self.num_ranks)))
+            worst_alpha = max(
+                float(self._alpha.max(initial=0.0)), self.machine.alpha_intra
+            )
+            worst_beta = max(float(self._beta.max(initial=0.0)), self.machine.beta_intra)
+            self.clock.charge("comm", depth * worst_alpha + total_bytes * worst_beta)
+            # Traffic accounting: each rank ends up holding every byte once.
+            p = self.num_ranks
+            bytes_matrix = np.zeros((p, p), dtype=np.int64)
+            for src, m in enumerate(contributions):
+                if m is not None and len(m) > 0:
+                    bytes_matrix[src, :] = m.nbytes
+                    bytes_matrix[src, src] = 0
+            self.trace.record_exchange(bytes_matrix, self._tiers, len(nonempty))
+        self.clock.charge("sync", self.topology.barrier_cost())
+        self.trace.barriers += 1
+        gathered = Message.concat(nonempty) if nonempty else None
+        return [gathered for _ in range(self.num_ranks)]
+
+    # -- compute charging ----------------------------------------------------
+
+    _RATE_BY_COMPONENT = {
+        "edges": "edge_rate",
+        "bucket_ops": "bucket_rate",
+        "bytes": "memcpy_rate",
+    }
+
+    def charge_compute(self, **work: np.ndarray) -> None:
+        """Charge one compute phase given per-rank work counts.
+
+        ``work`` maps a component name (``edges``, ``bucket_ops``,
+        ``bytes``) to an array of per-rank operation counts.  The phase
+        takes as long as its slowest rank — this is where load imbalance
+        becomes simulated time.
+        """
+        per_rank = np.zeros(self.num_ranks, dtype=np.float64)
+        for component, counts in work.items():
+            rate_attr = self._RATE_BY_COMPONENT.get(component)
+            if rate_attr is None:
+                raise ValueError(f"unknown work component {component!r}")
+            counts = np.asarray(counts, dtype=np.float64)
+            if counts.shape != (self.num_ranks,):
+                raise ValueError(f"expected one count per rank for {component!r}")
+            if np.any(counts < 0):
+                raise ValueError(f"negative work counts for {component!r}")
+            per_rank += counts / getattr(self.machine, rate_attr)
+            acc = self.work_per_rank.setdefault(
+                component, np.zeros(self.num_ranks, dtype=np.int64)
+            )
+            acc += counts.astype(np.int64)
+        self.clock.charge("compute", float(per_rank.max()))
+
+    # -- reporting -----------------------------------------------------------
+
+    def compute_imbalance(self, component: str = "edges") -> float:
+        """Max/mean of accumulated per-rank work (1.0 = balanced)."""
+        acc = self.work_per_rank.get(component)
+        if acc is None or acc.mean() == 0:
+            return 1.0
+        return float(acc.max() / acc.mean())

@@ -1,0 +1,155 @@
+"""Machine descriptions for the cost model.
+
+A :class:`MachineSpec` is everything the simulator knows about the physical
+system: how fast a node chews through edge relaxations, and what the network
+charges for a message, by topology tier.  The numbers in
+:func:`sunway_exascale` are order-of-magnitude public figures for the
+New-Generation Sunway system (SW26010-Pro: 6 core groups x (1 MPE + 64
+CPEs) = 390 cores/node, ~100k nodes, hierarchical supernode interconnect);
+they set the *scale* of projected results, not a claim of calibration
+against the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineSpec", "sunway_exascale", "small_cluster", "laptop_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of the simulated machine.
+
+    Rates are per *node* (one SimMPI rank == one node; intra-node
+    parallelism is folded into the rates, matching how the paper's
+    distributed algorithm sees the machine).
+
+    Attributes:
+        edge_rate: relaxations/s a node sustains (memory-bandwidth bound).
+        bucket_rate: bucket-maintenance operations/s (insert/decrease/scan).
+        memcpy_rate: bytes/s for local buffer packing/unpacking.
+        alpha_intra: message latency within a supernode (s).
+        alpha_inter: message latency across supernodes (s).
+        beta_intra: inverse bandwidth within a supernode (s/byte).
+        beta_inter: inverse bandwidth across supernodes (s/byte).
+        barrier_alpha: per-hop latency of the global barrier/allreduce tree.
+        nodes_per_supernode: topology grouping factor.
+        max_nodes: hardware size cap (projection experiments use it).
+        cores_per_node: descriptive only (reports, core-count headlines).
+        mem_per_node: usable DRAM per node in bytes (feasibility model).
+    """
+
+    name: str
+    edge_rate: float
+    bucket_rate: float
+    memcpy_rate: float
+    alpha_intra: float
+    alpha_inter: float
+    beta_intra: float
+    beta_inter: float
+    barrier_alpha: float
+    nodes_per_supernode: int
+    max_nodes: int
+    cores_per_node: int
+    mem_per_node: float = 64e9
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "edge_rate",
+            "bucket_rate",
+            "memcpy_rate",
+            "alpha_intra",
+            "alpha_inter",
+            "beta_intra",
+            "beta_inter",
+            "barrier_alpha",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        if self.nodes_per_supernode < 1 or self.max_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("topology counts must be >= 1")
+
+    @property
+    def total_cores(self) -> int:
+        return self.max_nodes * self.cores_per_node
+
+    def describe(self) -> dict[str, object]:
+        """Row for the machine-configuration table (experiment T2)."""
+        return {
+            "machine": self.name,
+            "nodes": self.max_nodes,
+            "cores/node": self.cores_per_node,
+            "total cores": self.total_cores,
+            "edge rate/node (GTEPS)": self.edge_rate / 1e9,
+            "intra-SN bandwidth (GB/s)": 1.0 / self.beta_intra / 1e9,
+            "inter-SN bandwidth (GB/s)": 1.0 / self.beta_inter / 1e9,
+            "intra-SN latency (us)": self.alpha_intra * 1e6,
+            "inter-SN latency (us)": self.alpha_inter * 1e6,
+            "nodes/supernode": self.nodes_per_supernode,
+        }
+
+
+def sunway_exascale() -> MachineSpec:
+    """A Sunway-class exascale machine (the paper's deployment scale).
+
+    107,520 nodes x 390 cores = ~41.9M cores.  Node edge rate assumes the
+    relaxation loop is bound by ~24 bytes of random memory traffic per edge
+    against ~300 GB/s of node memory bandwidth, discounted 4x for the
+    random-access inefficiency of scale-free traversal.
+    """
+    return MachineSpec(
+        name="sunway-exascale",
+        edge_rate=3.0e9,
+        bucket_rate=6.0e9,
+        memcpy_rate=5.0e10,
+        alpha_intra=1.5e-6,
+        alpha_inter=3.5e-6,
+        beta_intra=1.0 / 12.0e9,
+        beta_inter=1.0 / 6.0e9,
+        barrier_alpha=1.2e-6,
+        nodes_per_supernode=256,
+        max_nodes=107_520,
+        cores_per_node=390,
+        mem_per_node=96e9,
+        notes="order-of-magnitude public figures for the New-Generation Sunway",
+    )
+
+
+def small_cluster(nodes: int = 64) -> MachineSpec:
+    """A commodity InfiniBand cluster; used for mid-scale experiments."""
+    return MachineSpec(
+        name=f"cluster-{nodes}",
+        edge_rate=1.0e9,
+        bucket_rate=2.0e9,
+        memcpy_rate=2.0e10,
+        alpha_intra=1.0e-6,
+        alpha_inter=2.0e-6,
+        beta_intra=1.0 / 10.0e9,
+        beta_inter=1.0 / 5.0e9,
+        barrier_alpha=1.0e-6,
+        nodes_per_supernode=16,
+        max_nodes=nodes,
+        cores_per_node=64,
+        mem_per_node=256e9,
+    )
+
+
+def laptop_machine() -> MachineSpec:
+    """A single shared-memory box pretending to be a few ranks (CI runs)."""
+    return MachineSpec(
+        name="laptop",
+        edge_rate=2.0e8,
+        bucket_rate=4.0e8,
+        memcpy_rate=8.0e9,
+        alpha_intra=5.0e-7,
+        alpha_inter=5.0e-7,
+        beta_intra=1.0 / 2.0e10,
+        beta_inter=1.0 / 2.0e10,
+        barrier_alpha=2.0e-7,
+        nodes_per_supernode=64,
+        max_nodes=64,
+        cores_per_node=8,
+        mem_per_node=16e9,
+    )

@@ -1,0 +1,67 @@
+"""Rank-to-topology mapping.
+
+One SimMPI rank corresponds to one node of the machine.  Nodes are grouped
+into supernodes (the Sunway network hierarchy); the cost model charges the
+intra-supernode tier for messages between nodes of the same group and the
+inter-supernode tier otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.machine import MachineSpec
+
+__all__ = ["Topology", "TIER_LOCAL", "TIER_INTRA", "TIER_INTER"]
+
+TIER_LOCAL = 0  # same rank: no network traversal
+TIER_INTRA = 1  # same supernode
+TIER_INTER = 2  # different supernodes
+
+
+class Topology:
+    """Placement of ``num_ranks`` ranks onto a machine's node hierarchy."""
+
+    __slots__ = ("machine", "num_ranks", "supernode")
+
+    def __init__(self, machine: MachineSpec, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if num_ranks > machine.max_nodes:
+            raise ValueError(
+                f"{num_ranks} ranks exceed machine capacity of {machine.max_nodes} nodes"
+            )
+        self.machine = machine
+        self.num_ranks = int(num_ranks)
+        self.supernode = (
+            np.arange(self.num_ranks, dtype=np.int64) // machine.nodes_per_supernode
+        )
+
+    def tier_matrix(self) -> np.ndarray:
+        """``(P, P)`` tier of the path between every rank pair."""
+        same_sn = self.supernode[:, None] == self.supernode[None, :]
+        tiers = np.where(same_sn, TIER_INTRA, TIER_INTER).astype(np.int8)
+        np.fill_diagonal(tiers, TIER_LOCAL)
+        return tiers
+
+    def alpha_matrix(self) -> np.ndarray:
+        """Per-pair message latency (s)."""
+        m = self.machine
+        lookup = np.array([0.0, m.alpha_intra, m.alpha_inter])
+        return lookup[self.tier_matrix()]
+
+    def beta_matrix(self) -> np.ndarray:
+        """Per-pair inverse bandwidth (s/byte)."""
+        m = self.machine
+        lookup = np.array([0.0, m.beta_intra, m.beta_inter])
+        return lookup[self.tier_matrix()]
+
+    def barrier_cost(self) -> float:
+        """Simulated cost of a global barrier: a latency tree over ranks."""
+        if self.num_ranks == 1:
+            return 0.0
+        depth = int(np.ceil(np.log2(self.num_ranks)))
+        return self.machine.barrier_alpha * depth
+
+    def num_supernodes(self) -> int:
+        return int(self.supernode[-1]) + 1

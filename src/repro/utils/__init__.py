@@ -1,0 +1,23 @@
+"""Low-level utilities shared by every subsystem.
+
+Deterministic counter-based PRNG (:mod:`repro.utils.prng`), numpy-backed
+bitsets (:mod:`repro.utils.bitset`), wall-clock/counter instrumentation
+(:mod:`repro.utils.timing`) and small statistics helpers
+(:mod:`repro.utils.stats`).
+"""
+
+from repro.utils.bitset import Bitset
+from repro.utils.prng import CounterRNG, splitmix64
+from repro.utils.stats import geometric_mean, harmonic_mean, summarize
+from repro.utils.timing import Counters, Timer
+
+__all__ = [
+    "Bitset",
+    "CounterRNG",
+    "Counters",
+    "Timer",
+    "geometric_mean",
+    "harmonic_mean",
+    "splitmix64",
+    "summarize",
+]

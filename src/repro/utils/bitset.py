@@ -1,0 +1,138 @@
+"""A numpy-backed fixed-size bitset.
+
+Used for frontier membership, "vertex settled" flags and validation marks.
+Word-parallel operations (union, intersection, popcount) run at memory
+bandwidth; per-index operations accept arrays so callers never loop in
+Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["Bitset"]
+
+_WORD_BITS = 64
+
+
+class Bitset:
+    """Fixed-capacity set of integers in ``[0, size)`` stored as packed bits."""
+
+    __slots__ = ("size", "words")
+
+    def __init__(self, size: int, words: np.ndarray | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = int(size)
+        nwords = (self.size + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self.words = np.zeros(nwords, dtype=np.uint64)
+        else:
+            if words.shape != (nwords,):
+                raise ValueError(f"expected {nwords} words, got {words.shape}")
+            self.words = words
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, size: int, indices: np.ndarray) -> "Bitset":
+        bs = cls(size)
+        bs.add(indices)
+        return bs
+
+    def copy(self) -> "Bitset":
+        return Bitset(self.size, self.words.copy())
+
+    # -- element operations (vectorized) ----------------------------------
+
+    def _check(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise IndexError(f"index out of range for bitset of size {self.size}")
+        return idx
+
+    def add(self, idx: np.ndarray | int) -> None:
+        idx = self._check(idx)
+        np.bitwise_or.at(
+            self.words,
+            idx >> 6,
+            np.uint64(1) << (idx & 63).astype(np.uint64),
+        )
+
+    def discard(self, idx: np.ndarray | int) -> None:
+        idx = self._check(idx)
+        masks = np.zeros_like(self.words)
+        np.bitwise_or.at(masks, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64))
+        self.words &= ~masks
+
+    def test(self, idx: np.ndarray | int) -> np.ndarray:
+        """Return a boolean array: membership of each index."""
+        idx = self._check(idx)
+        bits = (self.words[idx >> 6] >> (idx & 63).astype(np.uint64)) & np.uint64(1)
+        return bits.astype(bool)
+
+    def __contains__(self, i: int) -> bool:
+        return bool(self.test(np.asarray([i]))[0])
+
+    # -- set operations ----------------------------------------------------
+
+    def _binop(self, other: "Bitset", op) -> "Bitset":
+        if self.size != other.size:
+            raise ValueError("bitset size mismatch")
+        return Bitset(self.size, op(self.words, other.words))
+
+    def __or__(self, other: "Bitset") -> "Bitset":
+        return self._binop(other, np.bitwise_or)
+
+    def __and__(self, other: "Bitset") -> "Bitset":
+        return self._binop(other, np.bitwise_and)
+
+    def __sub__(self, other: "Bitset") -> "Bitset":
+        if self.size != other.size:
+            raise ValueError("bitset size mismatch")
+        return Bitset(self.size, self.words & ~other.words)
+
+    def __ior__(self, other: "Bitset") -> "Bitset":
+        if self.size != other.size:
+            raise ValueError("bitset size mismatch")
+        self.words |= other.words
+        return self
+
+    def clear(self) -> None:
+        self.words[:] = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self) -> int:
+        """Population count."""
+        return int(np.bitwise_count(self.words).sum())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def any(self) -> bool:
+        return bool(self.words.any())
+
+    def to_indices(self) -> np.ndarray:
+        """Return the sorted member indices as an int64 array."""
+        if not self.words.any():
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(self.words.view(np.uint8), bitorder="little")
+        idx = np.flatnonzero(bits[: self.size])
+        return idx.astype(np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_indices().tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self.words, other.words))
+
+    def __hash__(self) -> int:  # bitsets are mutable; forbid hashing
+        raise TypeError("Bitset is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bitset(size={self.size}, count={self.count()})"

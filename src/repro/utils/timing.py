@@ -1,0 +1,80 @@
+"""Wall-clock timers and named operation counters.
+
+The benchmark harness separates *measured wall time* (what Python actually
+spent) from *simulated machine time* (what the cost model charges); this
+module provides the former plus the counter plumbing both share.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Counters"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.seconds >= 0
+    True
+    """
+
+    seconds: float = 0.0
+    laps: int = 0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None, "Timer exited without entry"
+        self.seconds += time.perf_counter() - self._start
+        self.laps += 1
+        self._start = None
+
+    def reset(self) -> None:
+        self.seconds = 0.0
+        self.laps = 0
+        self._start = None
+
+
+@dataclass
+class Counters:
+    """A bag of named integer counters with dict-like access.
+
+    Counters are the ground truth the cost model consumes: edges relaxed,
+    messages sent, bytes moved, synchronization rounds, bucket epochs.
+    """
+
+    values: defaultdict = field(default_factory=lambda: defaultdict(int))
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.values[name] += int(amount)
+
+    def get(self, name: str) -> int:
+        return int(self.values.get(name, 0))
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter bag into this one."""
+        for k, v in other.values.items():
+            self.values[k] += v
+
+    def as_dict(self) -> dict[str, int]:
+        return {k: int(v) for k, v in sorted(self.values.items())}
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"Counters({inner})"

@@ -1,0 +1,158 @@
+"""Tests for relaxation kernels, result container and parent derivation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.relaxation import expand, frontier_edges, scatter_min
+from repro.core.result import UNREACHABLE_PARENT, SSSPResult, derive_parents
+from repro.graph.csr import build_csr
+from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph
+from repro.graph.types import EdgeList
+
+
+def _el(src, dst, w, n):
+    return EdgeList(np.array(src), np.array(dst), np.array(w, dtype=float), n)
+
+
+class TestFrontierEdges:
+    def test_single_vertex(self):
+        g = build_csr(star_graph(5))
+        src, dst, w = frontier_edges(g, np.array([0]))
+        assert np.all(src == 0)
+        assert sorted(dst) == [1, 2, 3, 4]
+
+    def test_multiple_vertices_order(self):
+        g = build_csr(path_graph(4))
+        src, dst, w = frontier_edges(g, np.array([1, 2]))
+        # Vertex 1's row then vertex 2's row, each sorted.
+        assert list(src) == [1, 1, 2, 2]
+        assert list(dst) == [0, 2, 1, 3]
+
+    def test_empty_frontier(self):
+        g = build_csr(path_graph(4))
+        src, dst, w = frontier_edges(g, np.array([], dtype=np.int64))
+        assert src.size == dst.size == w.size == 0
+
+    def test_isolated_vertices_in_frontier(self):
+        g = build_csr(_el([0], [1], [1.0], 5))
+        src, dst, w = frontier_edges(g, np.array([2, 0, 3]))
+        assert list(src) == [0]
+        assert list(dst) == [1]
+
+
+class TestExpand:
+    def test_candidates(self):
+        g = build_csr(_el([0, 0], [1, 2], [0.5, 2.0], 3))
+        dist = np.array([1.0, np.inf, np.inf])
+        targets, cands, scanned = expand(g, np.array([0]), dist)
+        assert scanned == 2
+        assert np.allclose(sorted(cands), [1.5, 3.0])
+
+    def test_light_filter(self):
+        g = build_csr(_el([0, 0], [1, 2], [0.5, 2.0], 3))
+        dist = np.array([0.0, np.inf, np.inf])
+        targets, cands, scanned = expand(g, np.array([0]), dist, weight_max=1.0)
+        assert scanned == 2  # both scanned
+        assert list(targets) == [1]  # only the light one kept
+
+    def test_heavy_filter(self):
+        g = build_csr(_el([0, 0], [1, 2], [0.5, 2.0], 3))
+        dist = np.array([0.0, np.inf, np.inf])
+        targets, cands, _ = expand(g, np.array([0]), dist, weight_min=1.0)
+        assert list(targets) == [2]
+
+
+class TestScatterMin:
+    def test_improvement_detection(self):
+        dist = np.array([0.0, 5.0, 5.0])
+        improved = scatter_min(dist, np.array([1, 2]), np.array([3.0, 6.0]))
+        assert list(improved) == [1]
+        assert dist[1] == 3.0
+        assert dist[2] == 5.0
+
+    def test_duplicate_targets_take_min(self):
+        dist = np.array([np.inf])
+        improved = scatter_min(dist, np.array([0, 0, 0]), np.array([3.0, 1.0, 2.0]))
+        assert list(improved) == [0]
+        assert dist[0] == 1.0
+
+    def test_empty(self):
+        dist = np.array([1.0])
+        improved = scatter_min(dist, np.array([], dtype=np.int64), np.array([]))
+        assert improved.size == 0
+
+
+class TestSSSPResult:
+    def test_reached_counts(self):
+        r = SSSPResult(
+            source=0,
+            dist=np.array([0.0, 1.0, np.inf]),
+            parent=np.array([0, 0, -1]),
+        )
+        assert r.num_reached == 2
+        assert r.num_vertices == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SSSPResult(source=0, dist=np.zeros(3), parent=np.zeros(2, dtype=np.int64))
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            SSSPResult(source=5, dist=np.zeros(3), parent=np.zeros(3, dtype=np.int64))
+
+    def test_traversed_edges(self):
+        g = build_csr(path_graph(4))
+        res = dijkstra(g, 0)
+        # All 3 undirected edges have both endpoints reached.
+        assert res.traversed_edges(g) == 3
+
+
+class TestDeriveParents:
+    def test_path(self):
+        g = build_csr(path_graph(5, weight=2.0))
+        res = dijkstra(g, 0)
+        parent = derive_parents(g, res.dist, 0)
+        assert list(parent) == [0, 0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        g = build_csr(_el([0], [1], [1.0], 4))
+        res = dijkstra(g, 0)
+        parent = derive_parents(g, res.dist, 0)
+        assert parent[2] == UNREACHABLE_PARENT
+        assert parent[3] == UNREACHABLE_PARENT
+
+    def test_tree_invariants_random(self):
+        g = build_csr(random_graph(60, 250, seed=5))
+        res = dijkstra(g, 0)
+        parent = derive_parents(g, res.dist, 0)
+        reached = np.isfinite(res.dist)
+        assert parent[0] == 0
+        for v in np.flatnonzero(reached):
+            if v == 0:
+                continue
+            p = parent[v]
+            assert p >= 0
+            assert g.has_edge(p, v)
+            # Exact tightness of the tree edge.
+            assert res.dist[p] + g.edge_weight(p, v) == res.dist[v]
+            assert res.dist[p] < res.dist[v]  # strict decrease -> acyclic
+
+    def test_rejects_nonpositive_weights(self):
+        g = build_csr(_el([0], [1], [0.0], 2), dedup=False)
+        with pytest.raises(ValueError):
+            derive_parents(g, np.array([0.0, 0.0]), 0)
+
+    def test_grid_distances_consistent(self):
+        g = build_csr(grid_graph(6, 6, seed=3))
+        res = dijkstra(g, 0)
+        parent = derive_parents(g, res.dist, 0)
+        # Walking parents from any reached vertex terminates at the source.
+        for v in range(36):
+            seen = set()
+            cur = v
+            while cur != 0:
+                assert cur not in seen
+                seen.add(cur)
+                cur = int(parent[cur])
+            assert cur == 0

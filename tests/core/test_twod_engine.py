@@ -1,0 +1,101 @@
+"""Tests for the 2-D (checkerboard) distributed SSSP engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.dist_sssp import distributed_sssp
+from repro.core.twod_engine import distributed_sssp_2d
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph
+from repro.graph500.validation import validate_sssp
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return build_csr(generate_kronecker(10, seed=55))
+
+
+class TestTwoDCorrectness:
+    @pytest.mark.parametrize("num_ranks", [1, 4, 6, 9, 16])
+    def test_matches_dijkstra(self, kron, num_ranks):
+        src = int(np.argmax(kron.out_degree))
+        ref = dijkstra(kron, src)
+        run = distributed_sssp_2d(kron, src, num_ranks=num_ranks)
+        assert np.array_equal(run.result.dist, ref.dist)
+        assert validate_sssp(kron, run.result).ok
+
+    def test_explicit_grid(self, kron):
+        ref = dijkstra(kron, 3)
+        run = distributed_sssp_2d(kron, 3, num_ranks=8, grid=(2, 4))
+        assert np.array_equal(run.result.dist, ref.dist)
+        assert run.rows == 2 and run.cols == 4
+
+    def test_grid_mismatch_rejected(self, kron):
+        with pytest.raises(ValueError):
+            distributed_sssp_2d(kron, 0, num_ranks=8, grid=(3, 3))
+
+    def test_invalid_source(self, kron):
+        with pytest.raises(ValueError):
+            distributed_sssp_2d(kron, -1, num_ranks=4)
+
+    def test_non_kronecker_graphs(self):
+        for el in (grid_graph(8, 8, seed=2), star_graph(100, weight=0.3), path_graph(40, 0.5)):
+            g = build_csr(el)
+            ref = dijkstra(g, 0)
+            run = distributed_sssp_2d(g, 0, num_ranks=4)
+            assert np.array_equal(run.result.dist, ref.dist)
+
+
+class TestTwoDCommunicationStructure:
+    def test_partner_bound(self, kron):
+        """Per phase, a rank talks to at most max(R, C) - 1 partners."""
+        src = int(np.argmax(kron.out_degree))
+        run = distributed_sssp_2d(kron, src, num_ranks=16)  # 4x4
+        assert run.max_partners_per_rank <= 3
+
+    def test_partner_advantage_over_1d(self, kron):
+        """1-D ranks can have up to P-1 partners; 2-D is bounded by the grid."""
+        src = int(np.argmax(kron.out_degree))
+        run2d = distributed_sssp_2d(kron, src, num_ranks=16)
+        assert run2d.max_partners_per_rank < 15
+
+    def test_replication_costs_bytes(self, kron):
+        """The 2-D scheme trades bytes (frontier replication) for fan-out."""
+        src = int(np.argmax(kron.out_degree))
+        run2d = distributed_sssp_2d(kron, src, num_ranks=16)
+        run1d = distributed_sssp(kron, src, num_ranks=16)
+        assert run2d.trace_summary["total_bytes"] > 0
+        # Not asserting a direction for time — the tradeoff depends on scale;
+        # both must simply be measured.
+        assert run2d.simulated_seconds > 0
+        assert run1d.simulated_seconds > 0
+
+    def test_rounds_counted(self, kron):
+        run = distributed_sssp_2d(kron, 3, num_ranks=4)
+        assert run.result.counters["rounds"] > 0
+        assert run.result.counters["edges_relaxed"] > 0
+
+    def test_teps(self, kron):
+        src = int(np.argmax(kron.out_degree))
+        run = distributed_sssp_2d(kron, src, num_ranks=9)
+        assert run.teps(kron) > 0
+
+
+@given(
+    n=st.integers(4, 50),
+    m=st.integers(2, 250),
+    seed=st.integers(0, 200),
+    num_ranks=st.sampled_from([1, 2, 4, 6, 9]),
+)
+@settings(max_examples=20, deadline=None)
+def test_twod_always_exact(n, m, seed, num_ranks):
+    """Property: the 2-D engine is exact on any graph and grid."""
+    g = build_csr(random_graph(n, m, seed))
+    source = seed % n
+    run = distributed_sssp_2d(g, source, num_ranks=num_ranks)
+    ref = dijkstra(g, source)
+    assert np.array_equal(run.result.dist, ref.dist)

@@ -1,0 +1,141 @@
+"""Tests for CSR construction (Graph500 kernel 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph, build_csr, _ranges_to_indices
+from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph
+from repro.graph.types import EdgeList
+
+
+def _el(src, dst, w, n):
+    return EdgeList(np.array(src), np.array(dst), np.array(w, dtype=float), n)
+
+
+class TestBuildCSR:
+    def test_simple_triangle(self):
+        g = build_csr(_el([0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0], 3))
+        assert g.num_edges == 6  # symmetrized
+        assert list(g.neighbors(0)) == [1, 2]
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.edge_weight(1, 0) == 1.0  # symmetric copy
+
+    def test_no_symmetrize(self):
+        g = build_csr(_el([0], [1], [1.0], 2), symmetrize=False)
+        assert g.num_edges == 1
+        assert g.neighbors(1).size == 0
+
+    def test_self_loops_dropped(self):
+        g = build_csr(_el([0, 1], [0, 1], [1.0, 1.0], 2))
+        assert g.num_edges == 0
+
+    def test_self_loops_kept_when_asked(self):
+        g = build_csr(_el([0], [0], [1.0], 1), drop_self_loops=False, symmetrize=False)
+        assert g.num_edges == 1
+
+    def test_dedup_keeps_min_weight(self):
+        g = build_csr(_el([0, 0, 0], [1, 1, 1], [3.0, 1.0, 2.0], 2), symmetrize=False)
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_dedup_disabled_keeps_parallel_edges(self):
+        g = build_csr(_el([0, 0], [1, 1], [3.0, 1.0], 2), symmetrize=False, dedup=False)
+        assert g.num_edges == 2
+
+    def test_adjacency_sorted(self):
+        g = build_csr(_el([0, 0, 0], [5, 2, 9], [1, 1, 1], 10), symmetrize=False)
+        assert list(g.neighbors(0)) == [2, 5, 9]
+
+    def test_empty_graph(self):
+        g = build_csr(_el([], [], [], 5))
+        assert g.num_edges == 0
+        assert g.num_vertices == 5
+        assert np.array_equal(g.out_degree, np.zeros(5))
+
+    def test_has_edge(self):
+        g = build_csr(_el([0], [1], [1.0], 3))
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edge_weight_missing_raises(self):
+        g = build_csr(_el([0], [1], [1.0], 3))
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)
+
+    def test_degree_of(self):
+        g = build_csr(star_graph(5))
+        assert g.degree_of(np.array([0]))[0] == 4
+        assert np.array_equal(g.degree_of(np.array([1, 2])), [1, 1])
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([1]), np.array([1.0]), 1)
+
+    def test_grid_structure(self):
+        g = build_csr(grid_graph(3, 3))
+        # Corner has 2 neighbors, center has 4.
+        assert g.neighbors(0).size == 2
+        assert g.neighbors(4).size == 4
+        assert g.num_edges == 2 * 12  # 12 undirected grid edges
+
+
+class TestSubgraphRows:
+    def test_keeps_selected_rows(self):
+        g = build_csr(grid_graph(4, 4))
+        rows = np.array([0, 5, 10])
+        sub = g.subgraph_rows(rows)
+        for v in rows:
+            assert np.array_equal(sub.neighbors(v), g.neighbors(v))
+        assert sub.neighbors(1).size == 0
+        assert sub.num_vertices == g.num_vertices
+
+    def test_empty_selection(self):
+        g = build_csr(path_graph(5))
+        sub = g.subgraph_rows(np.array([], dtype=np.int64))
+        assert sub.num_edges == 0
+
+
+class TestRangesToIndices:
+    def test_basic(self):
+        out = _ranges_to_indices(np.array([0, 5]), np.array([3, 7]))
+        assert list(out) == [0, 1, 2, 5, 6]
+
+    def test_with_empty_ranges(self):
+        out = _ranges_to_indices(np.array([2, 4, 4, 9]), np.array([2, 6, 4, 10]))
+        assert list(out) == [4, 5, 9]
+
+    def test_all_empty(self):
+        out = _ranges_to_indices(np.array([1, 2]), np.array([1, 2]))
+        assert out.size == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10)), max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, pairs):
+        starts = np.array([p[0] for p in pairs], dtype=np.int64)
+        stops = starts + np.array([p[1] for p in pairs], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(a, b) for a, b in zip(starts, stops)] or [np.empty(0, dtype=np.int64)]
+        )
+        assert np.array_equal(_ranges_to_indices(starts, stops), expected)
+
+
+@given(n=st.integers(2, 40), m=st.integers(0, 200), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_csr_roundtrip_properties(n, m, seed):
+    """Property: CSR construction preserves reachability-relevant structure."""
+    el = random_graph(n, m, seed)
+    g = build_csr(el)
+    # Every non-self-loop input edge must be present with weight <= input.
+    mask = el.src != el.dst
+    for u, v, w in zip(el.src[mask][:50], el.dst[mask][:50], el.weight[mask][:50]):
+        assert g.has_edge(u, v)
+        assert g.edge_weight(u, v) <= w + 1e-12
+        assert g.has_edge(v, u)
+    # Degrees sum to edge count; adjacency sorted per row.
+    assert g.out_degree.sum() == g.num_edges
+    for v in range(n):
+        nbrs = g.neighbors(v)
+        assert np.all(np.diff(nbrs) > 0)  # strictly increasing (deduped)

@@ -1,0 +1,60 @@
+"""Tests for distributed kernel-1 construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import build_csr
+from repro.graph.dist_build import distributed_construction
+from repro.graph.kronecker import KroneckerSpec, generate_kronecker
+from repro.simmpi.machine import small_cluster
+
+
+class TestDistributedConstruction:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 5, 8])
+    def test_bit_identical_to_shared(self, num_ranks):
+        spec = KroneckerSpec(scale=9, seed=41)
+        ref = build_csr(generate_kronecker(9, seed=41))
+        res = distributed_construction(spec, num_ranks=num_ranks)
+        assert np.array_equal(res.graph.indptr, ref.indptr)
+        assert np.array_equal(res.graph.adj, ref.adj)
+        assert np.array_equal(res.graph.weight, ref.weight)
+
+    def test_single_rank_no_shuffle(self):
+        res = distributed_construction(KroneckerSpec(scale=8), num_ranks=1)
+        assert res.shuffle_bytes == 0
+
+    def test_shuffle_traffic_measured(self):
+        res = distributed_construction(KroneckerSpec(scale=9), num_ranks=4)
+        assert res.shuffle_bytes > 0
+        assert res.simulated_seconds > 0
+
+    def test_edge_counts_complete(self):
+        spec = KroneckerSpec(scale=9, seed=3)
+        ref = build_csr(generate_kronecker(9, seed=3))
+        res = distributed_construction(spec, num_ranks=4)
+        assert res.edges_per_rank.sum() == ref.num_edges
+        assert res.edge_imbalance >= 1.0
+
+    def test_hierarchical_routing(self):
+        spec = KroneckerSpec(scale=9, seed=3)
+        ref = build_csr(generate_kronecker(9, seed=3))
+        res = distributed_construction(
+            spec, num_ranks=32, machine=small_cluster(64), hierarchical=True
+        )
+        assert np.array_equal(res.graph.adj, ref.adj)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            distributed_construction(KroneckerSpec(scale=6), num_ranks=0)
+
+    @given(scale=st.integers(4, 9), seed=st.integers(0, 100), ranks=st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_identical_for_any_configuration(self, scale, seed, ranks):
+        spec = KroneckerSpec(scale=scale, seed=seed)
+        ref = build_csr(generate_kronecker(scale, seed=seed))
+        res = distributed_construction(spec, num_ranks=ranks)
+        assert np.array_equal(res.graph.indptr, ref.indptr)
+        assert np.array_equal(res.graph.adj, ref.adj)
+        assert np.array_equal(res.graph.weight, ref.weight)

@@ -1,0 +1,39 @@
+"""Tests for the kernel-2 benchmark driver."""
+
+import pytest
+
+from repro.graph500.bfs_harness import run_graph500_bfs
+
+
+class TestBFSHarness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_graph500_bfs(scale=8, num_ranks=4, num_roots=6, seed=5)
+
+    def test_all_roots_validate(self, result):
+        assert len(result.roots) == 6
+        assert result.all_valid
+
+    def test_teps_positive(self, result):
+        assert result.teps.hmean > 0
+
+    def test_row(self, result):
+        row = result.row()
+        assert row["kernel"] == "BFS"
+        assert row["valid"] is True
+        assert row["direction"] == "auto"
+
+    def test_levels_recorded(self, result):
+        assert all(r.levels > 0 for r in result.roots)
+
+    def test_direction_threads_through(self):
+        res = run_graph500_bfs(scale=7, num_ranks=2, num_roots=2, direction="top_down")
+        assert res.direction == "top_down"
+        assert res.all_valid
+
+    def test_auto_beats_top_down_on_inspections(self):
+        auto = run_graph500_bfs(scale=9, num_ranks=2, num_roots=2)
+        td = run_graph500_bfs(scale=9, num_ranks=2, num_roots=2, direction="top_down")
+        assert sum(r.counters["edges_inspected"] for r in auto.roots) < sum(
+            r.counters["edges_inspected"] for r in td.roots
+        )

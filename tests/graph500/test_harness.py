@@ -1,0 +1,160 @@
+"""Tests for root sampling, TEPS aggregation and the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SSSPConfig
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph.synth import star_graph
+from repro.graph500.harness import run_graph500_sssp
+from repro.graph500.report import render_output_block, render_table
+from repro.graph500.roots import sample_roots
+from repro.graph500.spec import GRAPH500_EDGEFACTOR, GRAPH500_NUM_ROOTS, problem_class
+from repro.graph500.teps import teps_summary
+
+
+class TestSpec:
+    def test_constants(self):
+        assert GRAPH500_EDGEFACTOR == 16
+        assert GRAPH500_NUM_ROOTS == 64
+
+    def test_problem_class(self):
+        assert problem_class(26) == "toy"
+        assert problem_class(41) == "large"
+        assert problem_class(42) == "huge"
+        assert problem_class(50) == "huge"
+        assert problem_class(10) == "sub-toy"
+
+
+class TestRoots:
+    def test_no_isolated_roots(self):
+        g = build_csr(generate_kronecker(9))
+        roots = sample_roots(g, 32)
+        assert np.all(g.out_degree[roots] > 0)
+
+    def test_distinct(self):
+        g = build_csr(generate_kronecker(9))
+        roots = sample_roots(g, 64)
+        assert np.unique(roots).size == roots.size
+
+    def test_deterministic(self):
+        g = build_csr(generate_kronecker(9))
+        assert np.array_equal(sample_roots(g, 16, seed=4), sample_roots(g, 16, seed=4))
+
+    def test_seed_changes_sample(self):
+        g = build_csr(generate_kronecker(9))
+        assert not np.array_equal(sample_roots(g, 16, seed=4), sample_roots(g, 16, seed=5))
+
+    def test_caps_at_candidates(self):
+        g = build_csr(star_graph(4))
+        roots = sample_roots(g, 100)
+        assert roots.size == 4
+
+    def test_rejects_empty_graph(self):
+        from repro.graph.types import EdgeList
+
+        g = build_csr(EdgeList(np.array([]), np.array([]), np.array([]), 5))
+        with pytest.raises(ValueError):
+            sample_roots(g, 4)
+
+    def test_rejects_bad_count(self):
+        g = build_csr(star_graph(4))
+        with pytest.raises(ValueError):
+            sample_roots(g, 0)
+
+
+class TestTeps:
+    def test_harmonic(self):
+        s = teps_summary(np.array([1e6, 2e6, 4e6]))
+        assert s.hmean == pytest.approx(3e6 / 1.75)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            teps_summary(np.array([1e6, 0.0]))
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_graph500_sssp(scale=8, num_ranks=4, num_roots=6, seed=5)
+
+    def test_all_roots_run_and_validate(self, result):
+        assert len(result.roots) == 6
+        assert result.all_valid
+
+    def test_edge_counts(self, result):
+        assert result.num_edges_generated == 16 * 256
+        assert result.num_edges_csr <= 2 * result.num_edges_generated
+
+    def test_teps_positive(self, result):
+        assert result.teps.hmean > 0
+        assert result.teps.minimum > 0
+
+    def test_row(self, result):
+        row = result.row()
+        assert row["scale"] == 8
+        assert row["valid"] is True
+        assert row["variant"] == "optimized"
+
+    def test_totals(self, result):
+        assert result.totals("edges_relaxed") > 0
+        assert result.totals("nonexistent") == 0
+
+    def test_output_block_renders(self, result):
+        block = render_output_block(result)
+        assert "harmonic_mean_TEPS" in block
+        assert "validation: PASSED" in block
+        assert f"SCALE: 8" in block
+
+    def test_baseline_config_threads_through(self):
+        res = run_graph500_sssp(
+            scale=7, num_ranks=2, num_roots=2, config=SSSPConfig.baseline()
+        )
+        assert res.row()["variant"] == "baseline"
+        assert res.all_valid
+
+    def test_validate_can_be_skipped(self):
+        res = run_graph500_sssp(scale=7, num_ranks=2, num_roots=2, validate=False)
+        assert res.all_valid  # vacuous reports
+
+
+class TestRenderTable:
+    def test_basic(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        out = render_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.000123456}, {"v": 123456.7}, {"v": 1.5}, {"v": 0.0}])
+        assert "0.0001235" in out
+        assert "1.235e+05" in out
+        assert "1.5" in out
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        from repro.graph500.report import rows_to_csv
+
+        csv = rows_to_csv([{"a": 1, "b": "x"}, {"a": 2, "b": "y,z"}])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert lines[2] == '2,"y,z"'
+
+    def test_empty(self):
+        from repro.graph500.report import rows_to_csv
+
+        assert rows_to_csv([]) == ""
+
+    def test_quote_escaping(self):
+        from repro.graph500.report import rows_to_csv
+
+        csv = rows_to_csv([{"a": 'he said "hi"'}])
+        assert csv.splitlines()[1] == '"he said ""hi"""'

@@ -1,0 +1,159 @@
+"""Tests for the Graph500 SSSP validator, including corruption rejection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.delta_stepping import delta_stepping
+from repro.core.dist_sssp import distributed_sssp
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph.synth import grid_graph, path_graph, random_graph
+from repro.graph500.validation import validate_sssp
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return build_csr(generate_kronecker(9, seed=33))
+
+
+class TestValidationAccepts:
+    def test_dijkstra(self, kron):
+        res = dijkstra(kron, 1)
+        assert validate_sssp(kron, res).ok
+
+    def test_delta_stepping(self, kron):
+        res = delta_stepping(kron, 1)
+        assert validate_sssp(kron, res).ok
+
+    def test_distributed(self, kron):
+        run = distributed_sssp(kron, 1, num_ranks=4)
+        assert validate_sssp(kron, run.result).ok
+
+    def test_disconnected(self):
+        from repro.graph.types import EdgeList
+
+        g = build_csr(EdgeList(np.array([0]), np.array([1]), np.array([0.4]), 5))
+        res = dijkstra(g, 0)
+        assert validate_sssp(g, res).ok
+
+    def test_grid(self):
+        g = build_csr(grid_graph(7, 7, seed=2))
+        res = dijkstra(g, 10)
+        assert validate_sssp(g, res).ok
+
+    def test_single_vertex(self):
+        from repro.graph.types import EdgeList
+
+        g = build_csr(EdgeList(np.array([]), np.array([]), np.array([]), 1))
+        res = dijkstra(g, 0)
+        assert validate_sssp(g, res).ok
+
+
+class TestValidationRejects:
+    """Each spec rule must actually catch its corruption."""
+
+    def _good(self, kron):
+        return dijkstra(kron, 1)
+
+    def test_rule1_nonzero_root_dist(self, kron):
+        res = self._good(kron)
+        res.dist[1] = 0.5
+        report = validate_sssp(kron, res)
+        assert not report.ok
+        assert any("rule 1" in f for f in report.failures)
+
+    def test_rule1_wrong_root_parent(self, kron):
+        res = self._good(kron)
+        res.parent[1] = 2
+        report = validate_sssp(kron, res)
+        assert any("rule 1" in f for f in report.failures)
+
+    def test_rule2_fake_tree_edge(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        v = int(reached[reached != 1][5])
+        # Point v's parent to a reached vertex that is not its neighbor.
+        non_neighbors = np.setdiff1d(reached, kron.neighbors(v))
+        non_neighbors = non_neighbors[non_neighbors != v]
+        res.parent[v] = int(non_neighbors[0])
+        report = validate_sssp(kron, res)
+        assert not report.ok
+        assert any("rule 2" in f for f in report.failures)
+
+    def test_rule2_untight_distance(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        v = int(reached[reached != 1][3])
+        res.dist[v] += 1e-6  # breaks tightness at v (and slack of its edges)
+        report = validate_sssp(kron, res)
+        assert not report.ok
+
+    def test_rule3_relaxable_edge(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        v = int(reached[reached != 1][7])
+        res.dist[v] += 0.5  # way above its neighbors' reach
+        report = validate_sssp(kron, res)
+        assert any("rule 3" in f or "rule 2" in f for f in report.failures)
+
+    def test_rule4_reached_without_parent(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        v = int(reached[reached != 1][2])
+        res.parent[v] = -1
+        report = validate_sssp(kron, res)
+        assert any("rule 2" in f for f in report.failures)
+
+    def test_rule4_unreached_with_parent(self):
+        from repro.graph.types import EdgeList
+
+        g = build_csr(EdgeList(np.array([0]), np.array([1]), np.array([0.4]), 4))
+        res = dijkstra(g, 0)
+        res.parent[3] = 0
+        report = validate_sssp(g, res)
+        assert any("rule 4" in f for f in report.failures)
+
+    def test_rule4_mixed_edge(self):
+        g = build_csr(path_graph(4, weight=0.5))
+        res = dijkstra(g, 0)
+        # Fake vertex 3 as unreached although it has a reached neighbor.
+        res.dist[3] = np.inf
+        res.parent[3] = -1
+        report = validate_sssp(g, res)
+        assert any("rule 4" in f for f in report.failures)
+
+    def test_rule5_parent_cycle(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        # Create a 2-cycle between two reached vertices at equal fake depth.
+        a, b = int(reached[10]), int(reached[11])
+        res.parent[a] = b
+        res.parent[b] = a
+        report = validate_sssp(kron, res)
+        assert not report.ok
+
+    def test_tolerance_allows_tiny_errors(self, kron):
+        res = self._good(kron)
+        reached = np.flatnonzero(res.reached)
+        v = int(reached[reached != 1][3])
+        res.dist[v] += 1e-13
+        assert not validate_sssp(kron, res).ok
+        assert validate_sssp(kron, res, tolerance=1e-9).ok
+
+
+class TestRandomizedRejection:
+    def test_random_dist_perturbations_caught(self):
+        g = build_csr(random_graph(80, 600, seed=9))
+        res = dijkstra(g, 0)
+        rng = np.random.default_rng(0)
+        reached = np.flatnonzero(res.reached)
+        caught = 0
+        trials = 20
+        for _ in range(trials):
+            bad = dijkstra(g, 0)
+            v = int(rng.choice(reached[reached != 0]))
+            bad.dist[v] += float(rng.uniform(0.01, 1.0))
+            if not validate_sssp(g, bad).ok:
+                caught += 1
+        assert caught == trials

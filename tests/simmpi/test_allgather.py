@@ -1,0 +1,66 @@
+"""Tests for the allgather collective."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.machine import laptop_machine, small_cluster
+
+
+def _msg(values):
+    return Message(data=np.asarray(values, dtype=np.uint8))
+
+
+class TestAllgather:
+    def test_everyone_gets_everything(self):
+        f = Fabric(laptop_machine(), 3)
+        out = f.allgather([_msg([1]), _msg([2, 3]), _msg([4])])
+        for m in out:
+            assert np.array_equal(m["data"], [1, 2, 3, 4])
+
+    def test_rank_order_preserved(self):
+        f = Fabric(laptop_machine(), 3)
+        out = f.allgather([_msg([9]), None, _msg([1])])
+        assert np.array_equal(out[0]["data"], [9, 1])
+
+    def test_all_empty(self):
+        f = Fabric(laptop_machine(), 2)
+        out = f.allgather([None, None])
+        assert out == [None, None]
+        assert f.clock.component("comm") == 0.0
+
+    def test_zero_length_contribution_skipped(self):
+        f = Fabric(laptop_machine(), 2)
+        out = f.allgather([_msg([]), _msg([5])])
+        assert np.array_equal(out[0]["data"], [5])
+
+    def test_wrong_count_rejected(self):
+        f = Fabric(laptop_machine(), 3)
+        with pytest.raises(ValueError):
+            f.allgather([None])
+
+    def test_cost_scales_log_not_linear(self):
+        """The collective's latency term is log2(P), not P."""
+        payloads4 = [_msg(np.zeros(100)) for _ in range(4)]
+        payloads16 = [_msg(np.zeros(100)) for _ in range(16)]
+        f4 = Fabric(small_cluster(16), 4)
+        f16 = Fabric(small_cluster(16), 16)
+        f4.allgather(payloads4)
+        f16.allgather(payloads16)
+        t4 = f4.clock.component("comm")
+        t16 = f16.clock.component("comm")
+        # 16 ranks carry 4x the bytes and 2x the latency depth of 4 ranks —
+        # nowhere near the 16x of point-to-point emulation.
+        assert t16 < 5 * t4
+
+    def test_traffic_recorded(self):
+        f = Fabric(small_cluster(4), 2)
+        f.allgather([_msg([1, 2]), _msg([3])])
+        assert f.trace.total_bytes > 0
+        assert f.trace.supersteps == 1
+
+    def test_single_rank(self):
+        f = Fabric(laptop_machine(), 1)
+        out = f.allgather([_msg([7])])
+        assert np.array_equal(out[0]["data"], [7])
+        assert f.clock.component("comm") == 0.0

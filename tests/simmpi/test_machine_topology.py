@@ -1,0 +1,98 @@
+"""Tests for machine specs and topology mapping."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import MachineSpec, laptop_machine, small_cluster, sunway_exascale
+from repro.simmpi.topology import TIER_INTER, TIER_INTRA, TIER_LOCAL, Topology
+
+
+class TestMachineSpec:
+    def test_presets_valid(self):
+        for spec in (sunway_exascale(), small_cluster(), laptop_machine()):
+            assert spec.total_cores == spec.max_nodes * spec.cores_per_node
+
+    def test_sunway_headline_core_count(self):
+        """The paper's headline: over 40 million cores."""
+        assert sunway_exascale().total_cores > 40_000_000
+
+    def test_describe_row(self):
+        row = sunway_exascale().describe()
+        assert row["nodes"] == 107_520
+        assert row["cores/node"] == 390
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                edge_rate=0,
+                bucket_rate=1,
+                memcpy_rate=1,
+                alpha_intra=1,
+                alpha_inter=1,
+                beta_intra=1,
+                beta_inter=1,
+                barrier_alpha=1,
+                nodes_per_supernode=1,
+                max_nodes=1,
+                cores_per_node=1,
+            )
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="bad",
+                edge_rate=1,
+                bucket_rate=1,
+                memcpy_rate=1,
+                alpha_intra=1,
+                alpha_inter=1,
+                beta_intra=1,
+                beta_inter=1,
+                barrier_alpha=1,
+                nodes_per_supernode=0,
+                max_nodes=1,
+                cores_per_node=1,
+            )
+
+
+class TestTopology:
+    def test_supernode_grouping(self):
+        topo = Topology(small_cluster(64), 40)  # 16 nodes per supernode
+        assert topo.num_supernodes() == 3
+        assert topo.supernode[0] == 0
+        assert topo.supernode[16] == 1
+        assert topo.supernode[39] == 2
+
+    def test_tier_matrix(self):
+        topo = Topology(small_cluster(64), 20)
+        tiers = topo.tier_matrix()
+        assert tiers[0, 0] == TIER_LOCAL
+        assert tiers[0, 1] == TIER_INTRA  # same supernode
+        assert tiers[0, 17] == TIER_INTER  # crosses supernode boundary
+        assert np.array_equal(tiers, tiers.T)
+
+    def test_alpha_beta_matrices(self):
+        m = small_cluster(64)
+        topo = Topology(m, 20)
+        a = topo.alpha_matrix()
+        b = topo.beta_matrix()
+        assert a[0, 0] == 0.0
+        assert a[0, 1] == m.alpha_intra
+        assert a[0, 17] == m.alpha_inter
+        assert b[0, 17] == m.beta_inter
+
+    def test_barrier_cost_log_scaling(self):
+        m = small_cluster(64)
+        assert Topology(m, 1).barrier_cost() == 0.0
+        c2 = Topology(m, 2).barrier_cost()
+        c64 = Topology(m, 64).barrier_cost()
+        assert c64 == pytest.approx(6 * c2)
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            Topology(small_cluster(4), 5)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            Topology(small_cluster(), 0)

@@ -1,0 +1,138 @@
+"""Boundary and edge-case tests across subsystems.
+
+Each test pins a behaviour at a representational boundary — word edges,
+single-element structures, extreme configuration values — where vectorized
+code most often breaks silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SSSPConfig, delta_stepping, distributed_sssp
+from repro.core.buckets import BucketQueue
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import KroneckerSpec, generate_kronecker
+from repro.graph.synth import path_graph
+from repro.graph.types import EdgeList
+from repro.simmpi.fabric import Message
+from repro.utils.bitset import Bitset
+from repro.utils.prng import CounterRNG
+
+
+class TestWordBoundaries:
+    def test_bitset_size_exactly_64(self):
+        bs = Bitset(64)
+        bs.add(np.array([0, 63]))
+        assert bs.count() == 2
+        assert list(bs.to_indices()) == [0, 63]
+
+    def test_bitset_size_65(self):
+        bs = Bitset(65)
+        bs.add(np.array([64]))
+        assert 64 in bs
+        assert bs.count() == 1
+
+    def test_bitset_unused_tail_bits_ignored(self):
+        bs = Bitset(3)
+        bs.add(np.array([0, 1, 2]))
+        assert bs.count() == 3
+        assert list(bs.to_indices()) == [0, 1, 2]
+
+
+class TestScaleBoundaries:
+    def test_scale_one_graph(self):
+        el = generate_kronecker(1)
+        assert el.num_vertices == 2
+        g = build_csr(el)
+        res = delta_stepping(g, 0)
+        assert res.dist[0] == 0.0
+
+    def test_scale_48_boundary(self):
+        KroneckerSpec(scale=48)  # largest allowed
+        with pytest.raises(ValueError):
+            KroneckerSpec(scale=49)
+
+    def test_two_vertex_distributed(self):
+        el = EdgeList(np.array([0]), np.array([1]), np.array([0.5]), 2)
+        g = build_csr(el)
+        run = distributed_sssp(g, 0, num_ranks=2)
+        assert run.result.dist[1] == 0.5
+
+    def test_more_ranks_than_vertices(self):
+        g = build_csr(path_graph(3, weight=0.5))
+        run = distributed_sssp(g, 0, num_ranks=8)
+        np.testing.assert_allclose(run.result.dist, [0.0, 0.5, 1.0])
+
+
+class TestExtremeConfigurations:
+    def test_tiny_delta_still_exact(self):
+        g = build_csr(path_graph(6, weight=0.125))
+        res = delta_stepping(g, 0, delta=1e-6)
+        np.testing.assert_allclose(res.dist, 0.125 * np.arange(6))
+
+    def test_huge_delta_single_bucket(self):
+        g = build_csr(path_graph(6, weight=0.125))
+        res = delta_stepping(g, 0, delta=1e6)
+        assert res.counters["epochs"] == 1
+        np.testing.assert_allclose(res.dist, 0.125 * np.arange(6))
+
+    def test_delegate_everything(self):
+        """Threshold 1 delegates every non-isolated vertex; still exact."""
+        g = build_csr(generate_kronecker(8, seed=1))
+        src = int(np.argmax(g.out_degree))
+        run = distributed_sssp(
+            g, src, num_ranks=4, config=SSSPConfig(hub_degree_threshold=1)
+        )
+        ref = delta_stepping(g, src)
+        assert np.array_equal(run.result.dist, ref.dist)
+
+    def test_max_phases_guard(self):
+        g = build_csr(generate_kronecker(8, seed=1))
+        with pytest.raises(RuntimeError):
+            delta_stepping(g, int(np.argmax(g.out_degree)), max_phases=1)
+
+
+class TestBucketEdgeCases:
+    def test_distance_exactly_on_bucket_boundary(self):
+        dist = np.array([1.0])
+        bq = BucketQueue(dist, delta=0.5)
+        assert bq.bucket_index(np.array([0]))[0] == 2  # 1.0 / 0.5 -> bucket 2
+
+    def test_zero_distance_in_bucket_zero(self):
+        dist = np.array([0.0])
+        bq = BucketQueue(dist, delta=0.25)
+        bq.insert(np.array([0]))
+        assert bq.min_live_bucket() == 0
+
+
+class TestMessageEdgeCases:
+    def test_single_element(self):
+        m = Message(x=np.array([1.5]))
+        assert len(m) == 1
+        assert m.nbytes == 8
+
+    def test_mixed_dtypes(self):
+        m = Message(a=np.zeros(3, dtype=np.uint8), b=np.zeros(3, dtype=np.float64))
+        assert m.nbytes == 3 + 24
+
+    def test_concat_single(self):
+        m = Message.concat([Message(x=np.array([1]))])
+        assert len(m) == 1
+
+
+class TestPRNGEdgeCases:
+    def test_zero_draws(self):
+        r = CounterRNG(1)
+        assert r.uint64(0).size == 0
+        assert r.cursor == 0
+
+    def test_bound_one(self):
+        v = CounterRNG(1).below(100, 1)
+        assert np.all(v == 0)
+
+    def test_large_bound(self):
+        v = CounterRNG(1).below(100, 2**40)
+        assert v.max() < 2**40
+
+    def test_permutation_of_one(self):
+        assert list(CounterRNG(1).shuffle_permutation(1)) == [0]

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == 13
+        assert args.ranks == 8
+        assert not args.baseline
+
+    def test_project_defaults(self):
+        args = build_parser().parse_args(["project"])
+        assert args.target_scale == 42
+        assert args.efficiency == 0.25
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["run", "--scale", "8", "--ranks", "2", "--roots", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "harmonic_mean_TEPS" in out
+        assert "validation: PASSED" in out
+
+    def test_run_baseline(self, capsys):
+        rc = main(["run", "--scale", "8", "--ranks", "2", "--roots", "2", "--baseline"])
+        assert rc == 0
+        assert "variant: baseline" in capsys.readouterr().out
+
+    def test_bfs(self, capsys):
+        rc = main(["bfs", "--scale", "9", "--ranks", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "top_down" in out and "auto" in out
+        assert "validation: PASSED" in out
+
+    def test_ablation(self, capsys):
+        rc = main(["ablation", "--scale", "9", "--ranks", "2", "--roots", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optimized" in out and "baseline" in out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--scale", "9", "--ranks", "2", "--roots", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adaptive" in out
+
+    def test_project(self, capsys):
+        rc = main(
+            [
+                "project",
+                "--fit-scale",
+                "10",
+                "--ranks",
+                "4",
+                "--target-scale",
+                "42",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "42" in out
+        assert "GTEPS (modeled)" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--scale", "9", "--ranks", "4", "--roots", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2-D checkerboard" in out
+        assert "1-D optimized" in out

@@ -1,0 +1,130 @@
+"""Tests for the numpy-backed bitset."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitset import Bitset
+
+
+class TestBitsetBasics:
+    def test_empty(self):
+        bs = Bitset(100)
+        assert bs.count() == 0
+        assert not bs.any()
+        assert bs.to_indices().size == 0
+
+    def test_add_and_test(self):
+        bs = Bitset(130)
+        bs.add(np.array([0, 63, 64, 129]))
+        assert np.array_equal(bs.test(np.array([0, 63, 64, 129, 1])), [True] * 4 + [False])
+        assert bs.count() == 4
+
+    def test_add_duplicate_indices(self):
+        bs = Bitset(10)
+        bs.add(np.array([3, 3, 3]))
+        assert bs.count() == 1
+
+    def test_discard(self):
+        bs = Bitset.from_indices(100, np.array([1, 2, 3]))
+        bs.discard(np.array([2]))
+        assert sorted(bs) == [1, 3]
+
+    def test_discard_absent_is_noop(self):
+        bs = Bitset.from_indices(100, np.array([1]))
+        bs.discard(np.array([50]))
+        assert sorted(bs) == [1]
+
+    def test_contains(self):
+        bs = Bitset.from_indices(70, np.array([65]))
+        assert 65 in bs
+        assert 64 not in bs
+
+    def test_out_of_range_rejected(self):
+        bs = Bitset(10)
+        with pytest.raises(IndexError):
+            bs.add(np.array([10]))
+        with pytest.raises(IndexError):
+            bs.add(np.array([-1]))
+
+    def test_zero_size(self):
+        bs = Bitset(0)
+        assert bs.count() == 0
+        assert bs.to_indices().size == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitset(-1)
+
+    def test_clear(self):
+        bs = Bitset.from_indices(64, np.array([5, 6]))
+        bs.clear()
+        assert bs.count() == 0
+
+
+class TestBitsetSetOps:
+    def test_union(self):
+        a = Bitset.from_indices(100, np.array([1, 2]))
+        b = Bitset.from_indices(100, np.array([2, 3]))
+        assert sorted(a | b) == [1, 2, 3]
+
+    def test_intersection(self):
+        a = Bitset.from_indices(100, np.array([1, 2]))
+        b = Bitset.from_indices(100, np.array([2, 3]))
+        assert sorted(a & b) == [2]
+
+    def test_difference(self):
+        a = Bitset.from_indices(100, np.array([1, 2]))
+        b = Bitset.from_indices(100, np.array([2, 3]))
+        assert sorted(a - b) == [1]
+
+    def test_inplace_union(self):
+        a = Bitset.from_indices(100, np.array([1]))
+        a |= Bitset.from_indices(100, np.array([99]))
+        assert sorted(a) == [1, 99]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _ = Bitset(10) | Bitset(11)
+
+    def test_equality(self):
+        a = Bitset.from_indices(64, np.array([5]))
+        b = Bitset.from_indices(64, np.array([5]))
+        assert a == b
+        b.add(np.array([6]))
+        assert a != b
+
+    def test_copy_is_independent(self):
+        a = Bitset.from_indices(64, np.array([5]))
+        b = a.copy()
+        b.add(np.array([6]))
+        assert a.count() == 1
+        assert b.count() == 2
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitset(8))
+
+
+@given(
+    size=st.integers(1, 300),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_bitset_matches_python_set(size, data):
+    """Property: Bitset behaves exactly like a Python set of ints."""
+    indices = data.draw(st.lists(st.integers(0, size - 1), max_size=50))
+    removals = data.draw(st.lists(st.integers(0, size - 1), max_size=50))
+    bs = Bitset(size)
+    ref: set[int] = set()
+    if indices:
+        bs.add(np.array(indices))
+        ref |= set(indices)
+    if removals:
+        bs.discard(np.array(removals))
+        ref -= set(removals)
+    assert bs.count() == len(ref)
+    assert list(bs) == sorted(ref)
+    probe = np.arange(size)
+    assert np.array_equal(bs.test(probe), np.array([i in ref for i in range(size)]))
