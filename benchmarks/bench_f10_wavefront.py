@@ -4,6 +4,11 @@ The ∆-stepping wavefront is a standard paper figure: traffic ramps up as
 the expanding frontier hits the dense middle buckets, peaks, and decays
 through the long-distance tail.  Expected shape: the peak step carries the
 large majority of bytes, and the peak sits in the middle third of the run.
+
+The series is read from the run-telemetry timeline
+(``RunReport.wavefront()``) and cross-checked against the engine's
+``CommTrace`` summary — both are fed by the same fabric call sites, so the
+totals must agree byte for byte.
 """
 
 import numpy as np
@@ -13,16 +18,21 @@ from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table
 from repro.graph500.roots import sample_roots
+from repro.obs import RunReport, Tracer
 
 
 def test_f10_traffic_wavefront(benchmark, write_result):
     graph = build_csr(generate_kronecker(15, seed=2022))
     root = int(sample_roots(graph, 1, seed=7)[0])
 
+    tracer = Tracer()
     run = benchmark.pedantic(
-        lambda: distributed_sssp(graph, root, num_ranks=16), rounds=1, iterations=1
+        lambda: distributed_sssp(graph, root, num_ranks=16, tracer=tracer),
+        rounds=1,
+        iterations=1,
     )
-    series = np.array(run.step_bytes, dtype=np.int64)
+    report = RunReport.from_events(tracer.events)
+    series = np.array(report.wavefront(), dtype=np.int64)
     assert series.size > 0
     assert series.sum() == run.trace_summary["total_bytes"]
 

@@ -4,6 +4,11 @@ Measured (not modeled) traffic: wire bytes, messages and supersteps with
 each communication optimization on and off, at two scales.  Expected
 shape: coalescing cuts bytes by >=2x; compression shaves a further ~17%;
 fusion can only reduce supersteps (it never adds any).
+
+Traffic numbers come from the run-telemetry layer (``repro.obs``): each
+run is traced, and the figure reads the :class:`RunReport` timeline — the
+same single source of truth the ``--report-out`` artifact exposes — rather
+than reaching into ``CommTrace`` internals.
 """
 
 import numpy as np
@@ -14,20 +19,26 @@ from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table
 from repro.graph500.roots import sample_roots
+from repro.obs import RunReport, Tracer
 
 
 def _run(graph, config, roots, num_ranks=16):
-    traces = []
+    reports = []
+    runs = []
     for root in roots:
-        run = distributed_sssp(graph, int(root), num_ranks=num_ranks, config=config)
-        traces.append(run)
+        tracer = Tracer()
+        run = distributed_sssp(
+            graph, int(root), num_ranks=num_ranks, config=config, tracer=tracer
+        )
+        runs.append(run)
+        reports.append(RunReport.from_events(tracer.events))
     return {
-        "bytes": int(np.mean([t.trace_summary["total_bytes"] for t in traces])),
-        "messages": int(np.mean([t.trace_summary["messages"] for t in traces])),
-        "supersteps": int(np.mean([t.trace_summary["supersteps"] for t in traces])),
-        "allreduces": int(np.mean([t.trace_summary["allreduces"] for t in traces])),
-        "comm_s": float(np.mean([t.time_breakdown.get("comm", 0) for t in traces])),
-        "sync_s": float(np.mean([t.time_breakdown.get("sync", 0) for t in traces])),
+        "bytes": int(np.mean([r.total_bytes for r in reports])),
+        "messages": int(np.mean([r.total_messages for r in reports])),
+        "supersteps": int(np.mean([r.num_steps for r in reports])),
+        "allreduces": int(np.mean([r.allreduces for r in reports])),
+        "comm_s": float(np.mean([t.time_breakdown.get("comm", 0) for t in runs])),
+        "sync_s": float(np.mean([t.time_breakdown.get("sync", 0) for t in runs])),
     }
 
 

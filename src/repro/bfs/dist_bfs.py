@@ -24,6 +24,7 @@ import numpy as np
 from repro.bfs.kernel import BFSResult, _bottom_up_step, _NO_PARENT
 from repro.core.relaxation import frontier_edges
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, block1d_edge_balanced
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -151,10 +152,16 @@ def distributed_bfs(
     beta: float = 18.0,
     partition: str = "edge_balanced",
     hierarchical: bool = False,
+    tracer: Tracer | None = None,
 ) -> DistBFSRun:
     """Distributed BFS; returns levels/parents identical to the shared kernel's
     reachability and validated by :func:`repro.bfs.validation.validate_bfs`.
+
+    ``tracer`` (optional) receives one ``level`` span per BFS level plus the
+    fabric's per-exchange byte events.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     n = graph.num_vertices
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
@@ -170,7 +177,7 @@ def distributed_bfs(
             f"got {partition!r}"
         )
     machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks, hierarchical=hierarchical)
+    fabric = Fabric(machine, num_ranks, hierarchical=hierarchical, tracer=tracer)
     owner = np.asarray(part.owner_array)
     ranks = [
         _BFSRank(r, graph, part.vertices_of(r), owner, num_ranks)
@@ -186,10 +193,6 @@ def distributed_bfs(
     unexplored = float(graph.num_edges)
     levels_bottom_up = 0
     levels_top_down = 0
-
-    def _charge() -> None:
-        work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
-        fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
 
     while True:
         frontier_sizes = np.array([float(r.frontier.size) for r in ranks])
@@ -207,34 +210,45 @@ def distributed_bfs(
                 bottom_up = True
             elif bottom_up and total_frontier * beta < n:
                 bottom_up = False
-        if bottom_up:
-            levels_bottom_up += 1
-            # Allgather the frontier bitmap: every rank contributes its owned
-            # range packed to bits; the collective costs alpha*log2(P) +
-            # n/8 bytes per rank — the trick that makes bottom-up affordable.
-            global_bits = np.zeros(n, dtype=bool)
-            contributions: list[Message | None] = []
-            for r in ranks:
-                width = r.range_hi - r.range_lo
-                bits = np.zeros(width, dtype=bool)
-                if r.frontier.size:
-                    bits[r.frontier - r.range_lo] = True
-                global_bits[r.range_lo : r.range_hi] = bits
-                packed = np.packbits(bits) if width else np.empty(0, dtype=np.uint8)
-                payload = Message(bitmap=packed)
-                r.step_bytes += payload.nbytes
-                contributions.append(payload)
-            fabric.allgather(contributions)
-            for r in ranks:
-                r.bottom_up_level(global_bits, depth)
-            _charge()
-        else:
-            levels_top_down += 1
-            outboxes = [r.expand_top_down(depth) for r in ranks]
-            inboxes = fabric.exchange(outboxes)
-            for r, inbox in zip(ranks, inboxes):
-                r.apply_claims(inbox, depth)
-            _charge()
+        with tracer.span(
+            "level",
+            cat="engine",
+            phase="bottom_up" if bottom_up else "top_down",
+            epoch=depth,
+            frontier=int(total_frontier),
+        ) as sp:
+            if bottom_up:
+                levels_bottom_up += 1
+                # Allgather the frontier bitmap: every rank contributes its
+                # owned range packed to bits; the collective costs
+                # alpha*log2(P) + n/8 bytes per rank — the trick that makes
+                # bottom-up affordable.
+                global_bits = np.zeros(n, dtype=bool)
+                contributions: list[Message | None] = []
+                for r in ranks:
+                    width = r.range_hi - r.range_lo
+                    bits = np.zeros(width, dtype=bool)
+                    if r.frontier.size:
+                        bits[r.frontier - r.range_lo] = True
+                    global_bits[r.range_lo : r.range_hi] = bits
+                    packed = (
+                        np.packbits(bits) if width else np.empty(0, dtype=np.uint8)
+                    )
+                    payload = Message(bitmap=packed)
+                    r.step_bytes += payload.nbytes
+                    contributions.append(payload)
+                fabric.allgather(contributions)
+                for r in ranks:
+                    r.bottom_up_level(global_bits, depth)
+            else:
+                levels_top_down += 1
+                outboxes = [r.expand_top_down(depth) for r in ranks]
+                inboxes = fabric.exchange(outboxes)
+                for r, inbox in zip(ranks, inboxes):
+                    r.apply_claims(inbox, depth)
+            work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
+            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            sp.tag(edges=int(work[:, 0].sum()), bytes=int(work[:, 1].sum()))
 
     parent = np.full(n, _NO_PARENT, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)

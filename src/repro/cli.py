@@ -3,6 +3,9 @@
 Mirrors the real benchmark driver's workflow:
 
 * ``run``      — the full Graph500 SSSP protocol, official output block;
+                 ``--trace-out/--report-out/--chrome-out`` persist the run's
+                 telemetry (JSONL stream, per-superstep report, Perfetto);
+* ``inspect``  — summarize a saved ``--trace-out`` JSONL telemetry file;
 * ``bfs``      — the kernel-2 extension, per-direction statistics;
 * ``ablation`` — the optimization ablation table;
 * ``sweep``    — the ∆ sensitivity sweep;
@@ -32,15 +35,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.graph500.report import render_output_block
 
     config = SSSPConfig.baseline() if args.baseline else SSSPConfig.optimized()
+    tracer = None
+    tracing = args.trace_out or args.report_out or args.chrome_out
+    if tracing:
+        from repro.obs import JsonlSink, Tracer
+
+        sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+        tracer = Tracer(sinks=sinks)
+        tracer.add_meta(command="run", baseline=bool(args.baseline))
     result = run_graph500_sssp(
         scale=args.scale,
         num_ranks=args.ranks,
         num_roots=args.roots,
         seed=args.seed,
         config=config,
+        tracer=tracer,
     )
     print(render_output_block(result))
+    if tracer is not None:
+        tracer.close()
+        if args.trace_out:
+            print(f"trace: {args.trace_out} ({len(tracer.events)} records)")
+        if args.chrome_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(tracer.events, args.chrome_out)
+            print(f"chrome trace: {args.chrome_out} (open in chrome://tracing or Perfetto)")
+        if args.report_out:
+            import json
+
+            from repro.obs import RunReport
+
+            report = RunReport.from_events(tracer.events)
+            with open(args.report_out, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+            totals = report.totals()
+            print(
+                f"report: {args.report_out} ({totals['supersteps']} supersteps, "
+                f"{totals['total_bytes']} wire bytes)"
+            )
     return 0 if result.all_valid else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import RunReport
+
+    try:
+        report = RunReport.from_jsonl(args.trace)
+    except FileNotFoundError:
+        print(f"repro inspect: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"repro inspect: {args.trace} is not a JSONL telemetry trace "
+            f"(line {exc.lineno}: {exc.msg})",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.render_text(max_rows=args.max_rows))
+    return 0
 
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
@@ -150,7 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_run)
     p_run.add_argument("--roots", type=int, default=16)
     p_run.add_argument("--baseline", action="store_true")
+    p_run.add_argument(
+        "--trace-out", default=None, help="write the telemetry stream as JSONL"
+    )
+    p_run.add_argument(
+        "--report-out", default=None, help="write the per-superstep report as JSON"
+    )
+    p_run.add_argument(
+        "--chrome-out",
+        default=None,
+        help="write a chrome://tracing / Perfetto trace_event file",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_inspect = sub.add_parser("inspect", help="summarize a saved JSONL trace")
+    p_inspect.add_argument("trace", help="path to a --trace-out JSONL file")
+    p_inspect.add_argument("--max-rows", type=int, default=80)
+    p_inspect.set_defaults(func=_cmd_inspect)
 
     p_bfs = sub.add_parser("bfs", help="kernel-2 BFS extension")
     _add_common(p_bfs)

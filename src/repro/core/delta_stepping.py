@@ -21,6 +21,7 @@ from repro.core.buckets import BucketQueue
 from repro.core.relaxation import expand, scatter_min
 from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["delta_stepping"]
 
@@ -30,13 +31,19 @@ def delta_stepping(
     source: int,
     delta: float | None = None,
     max_phases: int | None = None,
+    tracer: Tracer | None = None,
 ) -> SSSPResult:
     """Exact SSSP from ``source`` by bucketed ∆-stepping.
 
     ``delta=None`` selects ∆ adaptively (:func:`repro.core.adaptive.choose_delta`).
     ``max_phases`` is a safety valve for tests; the algorithm terminates on
     its own for positive weights.
+
+    ``tracer`` (optional) receives one wall-clock ``epoch`` span per bucket
+    (there is no simulated clock in the shared-memory kernel).
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     n = graph.num_vertices
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
@@ -63,34 +70,47 @@ def delta_stepping(
         epochs += 1
         in_epoch[:] = False
         settled_parts: list[np.ndarray] = []
-        # -- light phases: drain bucket k to empty.  A vertex whose distance
-        # improves while still in bucket k is drained *again* so its light
-        # edges see the smaller distance (Meyer-Sanders re-processing).
-        while True:
-            frontier = buckets.drain(k)
-            if frontier.size == 0:
-                break
-            if max_phases is not None and phases >= max_phases:
-                raise RuntimeError(f"exceeded max_phases={max_phases}")
-            phases += 1
-            fresh = frontier[~in_epoch[frontier]]
-            in_epoch[fresh] = True
-            if fresh.size:
-                settled_parts.append(fresh)
-            targets, cands, scanned = expand(graph, frontier, dist, weight_max=delta)
-            relaxed += scanned
-            improved = scatter_min(dist, targets, cands)
-            if improved.size:
-                idx = buckets.bucket_index(improved)
-                reinsertions += int(np.count_nonzero(idx == k))
+        with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k) as ep:
+            epoch_relaxed = relaxed
+            epoch_phases = phases
+            # -- light phases: drain bucket k to empty.  A vertex whose
+            # distance improves while still in bucket k is drained *again* so
+            # its light edges see the smaller distance (Meyer-Sanders
+            # re-processing).
+            while True:
+                frontier = buckets.drain(k)
+                if frontier.size == 0:
+                    break
+                if max_phases is not None and phases >= max_phases:
+                    raise RuntimeError(f"exceeded max_phases={max_phases}")
+                phases += 1
+                fresh = frontier[~in_epoch[frontier]]
+                in_epoch[fresh] = True
+                if fresh.size:
+                    settled_parts.append(fresh)
+                targets, cands, scanned = expand(
+                    graph, frontier, dist, weight_max=delta
+                )
+                relaxed += scanned
+                improved = scatter_min(dist, targets, cands)
+                if improved.size:
+                    idx = buckets.bucket_index(improved)
+                    reinsertions += int(np.count_nonzero(idx == k))
+                    buckets.insert(improved)
+            # -- heavy phase: settled vertices relax their heavy edges once --
+            if settled_parts:
+                settled = np.concatenate(settled_parts)
+                targets, cands, scanned = expand(
+                    graph, settled, dist, weight_min=delta
+                )
+                relaxed += scanned
+                improved = scatter_min(dist, targets, cands)
                 buckets.insert(improved)
-        # -- heavy phase: settled vertices relax their heavy edges once ----
-        if settled_parts:
-            settled = np.concatenate(settled_parts)
-            targets, cands, scanned = expand(graph, settled, dist, weight_min=delta)
-            relaxed += scanned
-            improved = scatter_min(dist, targets, cands)
-            buckets.insert(improved)
+            ep.tag(
+                edges=relaxed - epoch_relaxed,
+                phases=phases - epoch_phases,
+                settled=int(sum(p.size for p in settled_parts)),
+            )
 
     result = SSSPResult(
         source=source,

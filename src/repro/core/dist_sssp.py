@@ -38,6 +38,8 @@ from repro.core.delegation import DelegateTable, auto_hub_threshold, select_hubs
 from repro.core.relaxation import expand, scatter_min
 from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import (
     Partition1D,
     block1d,
@@ -342,13 +344,20 @@ def distributed_sssp(
     num_ranks: int = 8,
     machine: MachineSpec | None = None,
     config: SSSPConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> DistSSSPRun:
     """Run distributed ∆-stepping SSSP on a simulated machine.
 
     Returns a :class:`DistSSSPRun` whose ``result`` is bit-identical in
     distances to the sequential oracle (the engine is exact; the simulation
     only affects the modeled time).
+
+    ``tracer`` (optional) receives the run's telemetry — epoch/superstep
+    spans, per-exchange byte events, a metrics snapshot; ``None`` selects
+    the no-op tracer, whose cost is one attribute check per superstep.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     if config is None:
         config = SSSPConfig()
     if machine is None:
@@ -374,7 +383,10 @@ def distributed_sssp(
         threshold = 0
         hubs = np.empty(0, dtype=np.int64)
 
-    fabric = Fabric(machine, num_ranks, hierarchical=config.hierarchical_aggregation)
+    fabric = Fabric(
+        machine, num_ranks, hierarchical=config.hierarchical_aggregation, tracer=tracer
+    )
+    metrics = MetricsRegistry()
     ranks = [
         _Rank(
             rank=r,
@@ -401,11 +413,14 @@ def distributed_sssp(
     light_supersteps = 0
     heavy_rounds = 0
 
-    def _charge_step() -> None:
+    def _charge_step() -> tuple[int, int, int]:
+        """Charge compute; return global (edges, bucket_ops, bytes) totals."""
         work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
         fabric.charge_compute(
             edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
         )
+        totals = work.sum(axis=0)
+        return int(totals[0]), int(totals[1]), int(totals[2])
 
     def _exchange_round(announcements: bool) -> None:
         """One communication phase: flush, exchange, process on arrival."""
@@ -436,32 +451,60 @@ def distributed_sssp(
         epochs += 1
         for r in ranks:
             r.start_epoch()
-        # ---- light phases.  Each superstep: local drain/relax, then the
-        # announcement broadcast phase (delegation only), then the update
-        # exchange.  Updates are applied on arrival, so after the exchange
-        # the only live state is bucket membership — which the termination
-        # allreduce checks directly.
-        while True:
-            for r in ranks:
-                r.relax_bucket(k)
-            if config.delegate_hubs and hubs.size and _announcement_round_needed():
-                _exchange_round(announcements=True)
-            _exchange_round(announcements=False)
-            _charge_step()
-            light_supersteps += 1
-            live = np.array([r.bucket_live(k) for r in ranks], dtype=np.float64)
-            if not fabric.allreduce_any(live):
-                break
-        # ---- heavy phase: one announcement round (delegation only) plus
-        # one update round; heavy results only land in later buckets, so no
-        # iteration is needed.
-        for r in ranks:
-            r.emit_heavy()
-        if config.delegate_hubs and hubs.size and _announcement_round_needed():
-            _exchange_round(announcements=True)
-        _exchange_round(announcements=False)
-        _charge_step()
-        heavy_rounds += 1
+        with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
+            # ---- light phases.  Each superstep: local drain/relax, then the
+            # announcement broadcast phase (delegation only), then the update
+            # exchange.  Updates are applied on arrival, so after the exchange
+            # the only live state is bucket membership — which the termination
+            # allreduce checks directly.
+            while True:
+                frontier_total = (
+                    int(sum(r.buckets.live_count(k) for r in ranks))
+                    if tracer.enabled
+                    else 0
+                )
+                with tracer.span(
+                    "superstep",
+                    cat="engine",
+                    phase="light",
+                    epoch=epochs,
+                    bucket=k,
+                    frontier=frontier_total,
+                ) as sp:
+                    for r in ranks:
+                        r.relax_bucket(k)
+                    if (
+                        config.delegate_hubs
+                        and hubs.size
+                        and _announcement_round_needed()
+                    ):
+                        _exchange_round(announcements=True)
+                    _exchange_round(announcements=False)
+                    edges, bucket_ops, step_bytes = _charge_step()
+                    sp.tag(edges=edges, bucket_ops=bucket_ops, bytes=step_bytes)
+                if tracer.enabled:
+                    metrics.histogram("frontier_size").observe(frontier_total)
+                    metrics.histogram("superstep_bytes").observe(step_bytes)
+                light_supersteps += 1
+                live = np.array([r.bucket_live(k) for r in ranks], dtype=np.float64)
+                if not fabric.allreduce_any(live):
+                    break
+            # ---- heavy phase: one announcement round (delegation only) plus
+            # one update round; heavy results only land in later buckets, so no
+            # iteration is needed.
+            with tracer.span(
+                "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
+            ) as sp:
+                for r in ranks:
+                    r.emit_heavy()
+                if config.delegate_hubs and hubs.size and _announcement_round_needed():
+                    _exchange_round(announcements=True)
+                _exchange_round(announcements=False)
+                edges, bucket_ops, step_bytes = _charge_step()
+                sp.tag(edges=edges, bucket_ops=bucket_ops, bytes=step_bytes)
+            if tracer.enabled:
+                metrics.histogram("superstep_bytes").observe(step_bytes)
+            heavy_rounds += 1
 
     # ---- assemble the global answer -------------------------------------
     dist = np.full(n, _INF, dtype=np.float64)
@@ -486,6 +529,14 @@ def distributed_sssp(
         num_hubs=int(hubs.size),
         variant=config.variant_name(),
     )
+    if tracer.enabled:
+        metrics.gauge("work_imbalance").set(fabric.compute_imbalance("edges"))
+        metrics.gauge("comm_imbalance").set(fabric.trace.comm_imbalance())
+        metrics.histogram("rank_sent_bytes").observe_many(
+            fabric.trace.bytes_sent_per_rank
+        )
+        metrics.absorb_counters(result.counters)
+        tracer.emit_metrics("engine", metrics.snapshot())
     return DistSSSPRun(
         result=result,
         config=config,

@@ -30,6 +30,7 @@ from repro.core.relaxation import frontier_edges, scatter_min
 from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.types import EdgeList
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, make_grid
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -192,11 +193,15 @@ def distributed_sssp_2d(
     num_ranks: int = 16,
     machine: MachineSpec | None = None,
     grid: tuple[int, int] | None = None,
+    tracer: Tracer | None = None,
 ) -> TwoDRun:
     """Exact SSSP with 2-D frontier relaxation on a process grid.
 
     ``grid`` defaults to the most-square factorization of ``num_ranks``.
+    ``tracer`` (optional) receives round spans and per-exchange events.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     n = graph.num_vertices
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
@@ -204,7 +209,7 @@ def distributed_sssp_2d(
     if rows * cols != num_ranks:
         raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
     machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks)
+    fabric = Fabric(machine, num_ranks, tracer=tracer)
     part = block1d(n, num_ranks)
     owner = np.asarray(part.owner_array)
     ranks = [
@@ -219,23 +224,34 @@ def distributed_sssp_2d(
     max_partners = 0
     while True:
         active = np.array([float(r.frontier.size) for r in ranks])
-        if fabric.allreduce(active, op="sum") == 0:
+        total_active = fabric.allreduce(active, op="sum")
+        if total_active == 0:
             break
         rounds += 1
-        # Phase 1: row broadcast of owned frontiers.
-        bcast = [r.broadcast_frontier() for r in ranks]
-        max_partners = max(max_partners, max((len(o) for o in bcast), default=0))
-        inboxes = fabric.exchange(bcast)
-        for r, inbox in zip(ranks, inboxes):
-            r.receive_frontier(inbox)
-        # Phase 2: block relaxation + column reduce to owners.
-        reduce_out = [r.relax_block() for r in ranks]
-        max_partners = max(max_partners, max((len(o) for o in reduce_out), default=0))
-        inboxes = fabric.exchange(reduce_out)
-        for r, inbox in zip(ranks, inboxes):
-            r.receive_candidates(inbox)
-        work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
-        fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+        with tracer.span(
+            "round",
+            cat="engine",
+            phase="frontier",
+            epoch=rounds,
+            frontier=int(total_active),
+        ) as sp:
+            # Phase 1: row broadcast of owned frontiers.
+            bcast = [r.broadcast_frontier() for r in ranks]
+            max_partners = max(max_partners, max((len(o) for o in bcast), default=0))
+            inboxes = fabric.exchange(bcast)
+            for r, inbox in zip(ranks, inboxes):
+                r.receive_frontier(inbox)
+            # Phase 2: block relaxation + column reduce to owners.
+            reduce_out = [r.relax_block() for r in ranks]
+            max_partners = max(
+                max_partners, max((len(o) for o in reduce_out), default=0)
+            )
+            inboxes = fabric.exchange(reduce_out)
+            for r, inbox in zip(ranks, inboxes):
+                r.receive_candidates(inbox)
+            work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
+            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            sp.tag(edges=int(work[:, 0].sum()), bytes=int(work[:, 1].sum()))
 
     dist = np.full(n, _INF, dtype=np.float64)
     for r in ranks:

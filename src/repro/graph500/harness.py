@@ -24,6 +24,8 @@ from repro.graph500.roots import sample_roots
 from repro.graph500.spec import GRAPH500_EDGEFACTOR, GRAPH500_NUM_ROOTS
 from repro.graph500.teps import teps_summary
 from repro.graph500.validation import ValidationReport, validate_sssp
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.machine import MachineSpec, small_cluster
 from repro.utils.stats import Summary
 from repro.utils.timing import Timer
@@ -100,19 +102,32 @@ def run_sssp_on_graph(
     machine: MachineSpec,
     config: SSSPConfig,
     validate: bool = True,
+    tracer: Tracer | None = None,
 ) -> list[RootRun]:
     """Kernel-3 loop: one distributed run per root, each validated."""
+    if tracer is None:
+        tracer = NULL_TRACER
     runs: list[RootRun] = []
-    for root in roots:
-        run: DistSSSPRun = distributed_sssp(
-            graph, int(root), num_ranks=num_ranks, machine=machine, config=config
-        )
-        traversed = run.result.traversed_edges(graph)
-        report = (
-            validate_sssp(graph, run.result)
-            if validate
-            else ValidationReport(ok=True, failures=[])
-        )
+    for index, root in enumerate(roots):
+        # Each root gets a fresh fabric (and simulated clock); detach the
+        # previous one so the root span doesn't straddle two clocks.
+        tracer.use_sim_clock(None)
+        with tracer.span("root", cat="harness", root=int(root), index=index):
+            run: DistSSSPRun = distributed_sssp(
+                graph,
+                int(root),
+                num_ranks=num_ranks,
+                machine=machine,
+                config=config,
+                tracer=tracer,
+            )
+            traversed = run.result.traversed_edges(graph)
+            with tracer.span("validation", cat="harness", root=int(root)):
+                report = (
+                    validate_sssp(graph, run.result)
+                    if validate
+                    else ValidationReport(ok=True, failures=[])
+                )
         runs.append(
             RootRun(
                 root=int(root),
@@ -138,24 +153,55 @@ def run_graph500_sssp(
     machine: MachineSpec | None = None,
     config: SSSPConfig | None = None,
     validate: bool = True,
+    tracer: Tracer | None = None,
 ) -> BenchmarkResult:
     """Run the complete Graph500 SSSP benchmark at the given scale.
 
     ``num_roots`` defaults to the official 64 but experiments routinely use
     fewer for sweeps; validation can be disabled for timing-only runs.
+
+    ``tracer`` (optional) receives the full telemetry of the protocol —
+    generation/construction spans (wall-clock kernels), one ``root`` span
+    per kernel-3 invocation wrapping the engine's epoch/superstep spans and
+    the fabric's per-exchange events, and a harness metrics snapshot.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     if config is None:
         config = SSSPConfig()
     if machine is None:
         machine = small_cluster(max(num_ranks, 1))
+    tracer.add_meta(
+        scale=scale,
+        edgefactor=edgefactor,
+        seed=seed,
+        ranks=num_ranks,
+        machine=machine.name,
+        variant=config.variant_name(),
+        num_roots=num_roots,
+    )
     gen_timer = Timer()
-    with gen_timer:
-        edges = generate_kronecker(scale, edgefactor=edgefactor, seed=seed)
+    with tracer.span("generation", cat="harness", scale=scale, edgefactor=edgefactor):
+        with gen_timer:
+            edges = generate_kronecker(scale, edgefactor=edgefactor, seed=seed)
     build_timer = Timer()
-    with build_timer:
-        graph = build_csr(edges)
+    with tracer.span("construction", cat="harness"):
+        with build_timer:
+            graph = build_csr(edges)
     roots = sample_roots(graph, num_roots, seed=seed)
-    runs = run_sssp_on_graph(graph, roots, num_ranks, machine, config, validate)
+    runs = run_sssp_on_graph(
+        graph, roots, num_ranks, machine, config, validate, tracer=tracer
+    )
+    if tracer.enabled:
+        registry = MetricsRegistry()
+        for run in runs:
+            registry.histogram("root_simulated_seconds").observe(
+                run.simulated_seconds
+            )
+            registry.histogram("root_teps").observe(run.teps)
+        registry.gauge("generation_wall_seconds").set(gen_timer.seconds)
+        registry.gauge("construction_wall_seconds").set(build_timer.seconds)
+        tracer.emit_metrics("harness", registry.snapshot())
     return BenchmarkResult(
         scale=scale,
         edgefactor=edgefactor,

@@ -1,0 +1,41 @@
+"""Run telemetry: structured spans, unified metrics, trace sinks, reports.
+
+The observability layer every engine reports into.  One :class:`Tracer`
+travels through harness -> engine -> fabric collecting spans and events;
+:class:`MetricsRegistry` unifies counters/gauges/histograms;
+:mod:`~repro.obs.sinks` persist the stream (JSONL, Chrome ``trace_event``);
+:class:`RunReport` turns it back into the per-superstep timeline the
+evaluation figures are built from.
+
+Instrumentation contract: engines accept ``tracer=None`` and substitute
+:data:`NULL_TRACER`, whose every operation is a no-op — tracing off costs
+one attribute check per superstep, never per edge.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RunReport
+from repro.obs.sinks import (
+    JsonlSink,
+    ListSink,
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "read_jsonl",
+    "write_chrome_trace",
+]

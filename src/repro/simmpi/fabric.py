@@ -15,6 +15,7 @@ from collections.abc import Iterable, Mapping
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.clock import SimClock
 from repro.simmpi.machine import MachineSpec
 from repro.simmpi.topology import Topology
@@ -77,13 +78,22 @@ class Fabric:
     modeled time and the forwarded-bytes accounting differ.
     """
 
-    def __init__(self, machine: MachineSpec, num_ranks: int, hierarchical: bool = False) -> None:
+    def __init__(
+        self,
+        machine: MachineSpec,
+        num_ranks: int,
+        hierarchical: bool = False,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.machine = machine
         self.topology = Topology(machine, num_ranks)
         self.num_ranks = num_ranks
         self.hierarchical = bool(hierarchical)
         self.clock = SimClock()
         self.trace = CommTrace(num_ranks)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Simulated timestamps in telemetry come from this fabric's clock.
+        self.tracer.use_sim_clock(self.clock)
         self._alpha = self.topology.alpha_matrix()
         self._beta = self.topology.beta_matrix()
         self._tiers = self.topology.tier_matrix()
@@ -127,6 +137,17 @@ class Fabric:
         self.clock.charge("sync", self.topology.barrier_cost())
         self.trace.record_exchange(bytes_matrix, self._tiers, msg_count)
         self.trace.barriers += 1
+        if self.tracer.enabled:
+            # One telemetry row per CommTrace superstep, byte-exact: the
+            # timeline report's totals must equal CommTrace.total_bytes.
+            self.tracer.event(
+                "exchange",
+                cat="fabric",
+                kind="alltoallv",
+                step=self.trace.supersteps - 1,
+                bytes=int(bytes_matrix.sum()),
+                messages=msg_count,
+            )
         return [Message.concat(msgs) for msgs in inbound]
 
     def _direct_step_cost(self, bytes_matrix: np.ndarray) -> float:
@@ -220,6 +241,8 @@ class Fabric:
             raise ValueError(f"unsupported allreduce op {op!r}")
         self.clock.charge("sync", 2.0 * self.topology.barrier_cost())
         self.trace.allreduces += 1
+        if self.tracer.enabled:
+            self.tracer.event("allreduce", cat="fabric", op=op)
         return float(ops[op](values))
 
     def allreduce_any(self, flags: np.ndarray) -> bool:
@@ -256,6 +279,15 @@ class Fabric:
                     bytes_matrix[src, :] = m.nbytes
                     bytes_matrix[src, src] = 0
             self.trace.record_exchange(bytes_matrix, self._tiers, len(nonempty))
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "exchange",
+                    cat="fabric",
+                    kind="allgather",
+                    step=self.trace.supersteps - 1,
+                    bytes=int(bytes_matrix.sum()),
+                    messages=len(nonempty),
+                )
         self.clock.charge("sync", self.topology.barrier_cost())
         self.trace.barriers += 1
         gathered = Message.concat(nonempty) if nonempty else None

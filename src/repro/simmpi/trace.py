@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.simmpi.topology import TIER_INTER, TIER_INTRA
+
 __all__ = ["CommTrace"]
 
 
@@ -28,9 +30,10 @@ class CommTrace:
     supersteps: int = 0
     barriers: int = 0
     allreduces: int = 0
-    # Per-rank totals for load-balance analysis.
-    bytes_sent_per_rank: np.ndarray = field(default=None)  # type: ignore[assignment]
-    bytes_recv_per_rank: np.ndarray = field(default=None)  # type: ignore[assignment]
+    # Per-rank totals for load-balance analysis; ``None`` until
+    # ``__post_init__`` sizes them to ``num_ranks``.
+    bytes_sent_per_rank: np.ndarray | None = None
+    bytes_recv_per_rank: np.ndarray | None = None
     # Per-superstep totals: the traffic wavefront over the run's lifetime.
     step_bytes: list = field(default_factory=list)
     step_messages: list = field(default_factory=list)
@@ -54,8 +57,6 @@ class CommTrace:
         """Account one alltoallv: ``bytes_matrix[src, dst]`` bytes moved."""
         if bytes_matrix.shape != (self.num_ranks, self.num_ranks):
             raise ValueError("bytes matrix shape mismatch")
-        from repro.simmpi.topology import TIER_INTER, TIER_INTRA
-
         self.bytes_intra += int(bytes_matrix[tier_matrix == TIER_INTRA].sum())
         self.bytes_inter += int(bytes_matrix[tier_matrix == TIER_INTER].sum())
         self.messages += int(message_count)

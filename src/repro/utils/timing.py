@@ -29,12 +29,23 @@ class Timer:
     laps: int = 0
     _start: float | None = None
 
+    @property
+    def running(self) -> bool:
+        """Whether the timer is inside an open lap."""
+        return self._start is not None
+
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is already running: re-entering would silently drop "
+                "the outer lap (use one Timer per nesting level)"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None, "Timer exited without entry"
+        if self._start is None:
+            raise RuntimeError("Timer exited without entry")
         self.seconds += time.perf_counter() - self._start
         self.laps += 1
         self._start = None

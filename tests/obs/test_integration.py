@@ -1,0 +1,138 @@
+"""End-to-end telemetry: engines and harness against CommTrace ground truth.
+
+The binding invariant: the timeline report's byte totals must equal
+``CommTrace.total_bytes`` for every instrumented engine — both are fed by
+the same ``record_exchange`` call sites, so any divergence means an
+exchange escaped the telemetry stream.
+"""
+
+import numpy as np
+
+from repro.bfs.dist_bfs import distributed_bfs
+from repro.core.delta_stepping import delta_stepping
+from repro.core.dist_sssp import distributed_sssp
+from repro.core.twod_engine import distributed_sssp_2d
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.harness import run_graph500_sssp
+from repro.obs import RunReport, Tracer
+
+
+def _graph(scale=9):
+    return build_csr(generate_kronecker(scale, seed=2022))
+
+
+class TestEngineTelemetry:
+    def test_dist_sssp_bytes_match_commtrace(self):
+        tracer = Tracer()
+        run = distributed_sssp(_graph(), 0, num_ranks=4, tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        assert report.total_bytes == run.trace_summary["total_bytes"]
+        assert report.total_messages == run.trace_summary["messages"]
+        assert report.num_steps == run.trace_summary["supersteps"]
+        assert report.allreduces == run.trace_summary["allreduces"]
+
+    def test_dist_sssp_step_annotations(self):
+        tracer = Tracer()
+        distributed_sssp(_graph(), 0, num_ranks=4, tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        phases = {row["phase"] for row in report.steps}
+        assert phases <= {"light", "heavy"}
+        assert "light" in phases and "heavy" in phases
+        light = [row for row in report.steps if row["phase"] == "light"]
+        assert any(row["frontier"] for row in light)
+        assert any(row["edges"] for row in report.steps)
+        # Step indices are the CommTrace superstep sequence, gap-free.
+        assert [row["step"] for row in report.steps] == list(range(len(report.steps)))
+
+    def test_dist_sssp_metrics_snapshot(self):
+        tracer = Tracer()
+        run = distributed_sssp(_graph(), 0, num_ranks=4, tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        snap = report.metrics["engine"]
+        assert snap["counters"]["epochs"] == run.result.counters["epochs"]
+        assert snap["histograms"]["frontier_size"]["count"] > 0
+        assert snap["gauges"]["work_imbalance"] >= 1.0
+
+    def test_twod_bytes_match_commtrace(self):
+        tracer = Tracer()
+        run = distributed_sssp_2d(_graph(), 0, num_ranks=4, tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        assert report.total_bytes == run.trace_summary["total_bytes"]
+        assert all(row["phase"] == "frontier" for row in report.steps)
+
+    def test_bfs_bytes_match_commtrace(self):
+        tracer = Tracer()
+        run = distributed_bfs(_graph(), 0, num_ranks=4, direction="auto", tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        assert report.total_bytes == run.trace_summary["total_bytes"]
+        phases = {row["phase"] for row in report.steps}
+        assert phases <= {"top_down", "bottom_up"}
+
+    def test_shared_memory_epoch_spans(self):
+        tracer = Tracer()
+        result = delta_stepping(_graph(), 0, tracer=tracer)
+        epochs = [r for r in tracer.events if r.get("name") == "epoch"]
+        assert len(epochs) == result.counters["epochs"]
+        assert sum(r["tags"]["edges"] for r in epochs) == result.counters["edges_relaxed"]
+
+
+class TestTelemetryIsInert:
+    """Tracing must never perturb the answer or the measured execution."""
+
+    def test_same_answer_and_traffic_with_and_without(self):
+        g = _graph()
+        base = distributed_sssp(g, 0, num_ranks=4)
+        traced = distributed_sssp(g, 0, num_ranks=4, tracer=Tracer())
+        assert np.array_equal(base.result.dist, traced.result.dist)
+        assert base.trace_summary == traced.trace_summary
+        assert base.simulated_seconds == traced.simulated_seconds
+
+    def test_disabled_path_allocates_no_records(self):
+        from repro.obs import NULL_TRACER
+
+        before = len(NULL_TRACER.events)
+        distributed_sssp(_graph(), 0, num_ranks=4)  # tracer=None -> NULL_TRACER
+        assert len(NULL_TRACER.events) == before == 0
+
+
+class TestHarnessTelemetry:
+    def test_per_superstep_bytes_agree_with_commtrace_summary(self):
+        tracer = Tracer()
+        result = run_graph500_sssp(
+            scale=8, num_ranks=2, num_roots=3, tracer=tracer, validate=True
+        )
+        report = RunReport.from_events(tracer.events)
+        # Per-root: the timeline rows inside each root span must sum to that
+        # root's CommTrace.summary() totals, byte for byte.
+        for index, root_run in enumerate(result.roots):
+            rows = report.steps_of_root(index)
+            assert rows, f"no timeline rows for root {index}"
+            assert sum(r["bytes"] for r in rows) == root_run.trace["total_bytes"]
+            assert sum(r["messages"] for r in rows) == root_run.trace["messages"]
+            assert len(rows) == root_run.trace["supersteps"]
+        assert report.total_bytes == sum(r.trace["total_bytes"] for r in result.roots)
+
+    def test_harness_spans_and_meta(self):
+        tracer = Tracer()
+        run_graph500_sssp(scale=8, num_ranks=2, num_roots=2, tracer=tracer)
+        report = RunReport.from_events(tracer.events)
+        names = {(a["cat"], a["name"]) for a in report.span_summary}
+        assert {("harness", "generation"), ("harness", "construction"),
+                ("harness", "root"), ("harness", "validation"),
+                ("engine", "epoch"), ("engine", "superstep")} <= names
+        assert report.meta["scale"] == 8
+        assert report.meta["ranks"] == 2
+        assert "harness" in report.metrics
+        assert report.metrics["harness"]["histograms"]["root_teps"]["count"] == 2
+
+    def test_trace_round_trip_through_jsonl(self, tmp_path):
+        from repro.obs import JsonlSink, read_jsonl
+
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(path)], keep_events=False)
+        run_graph500_sssp(scale=8, num_ranks=2, num_roots=2, tracer=tracer)
+        tracer.close()
+        report = RunReport.from_jsonl(path)
+        assert report.num_steps > 0
+        assert report.total_bytes > 0

@@ -1,0 +1,110 @@
+"""Tests for RunReport: timeline construction from a telemetry stream."""
+
+from repro.obs import RunReport, Tracer
+
+
+def _make_trace():
+    """Two roots, two supersteps each; exchange events inside step spans."""
+    tr = Tracer()
+    tr.add_meta(scale=10, ranks=4)
+    step = 0
+    for index in range(2):
+        with tr.span("root", cat="harness", root=100 + index, index=index):
+            for bucket in range(2):
+                with tr.span(
+                    "superstep", cat="engine", phase="light", epoch=bucket + 1,
+                    bucket=bucket, frontier=5 * (bucket + 1),
+                ) as sp:
+                    tr.event(
+                        "exchange", cat="fabric", kind="alltoallv",
+                        step=step, bytes=100 * (step + 1), messages=step + 1,
+                    )
+                    tr.event("allreduce", cat="fabric", op="max")
+                    sp.tag(edges=10 * (step + 1))
+                step += 1
+            # reset per-root step numbering like a fresh fabric would
+            step = 0
+    return tr
+
+
+class TestTimeline:
+    def test_rows_join_fabric_and_engine_tags(self):
+        report = RunReport.from_events(_make_trace().events)
+        assert report.num_steps == 4
+        row = report.steps[0]
+        assert row["root"] == 0  # index tag of the enclosing root span
+        assert row["step"] == 0
+        assert row["bytes"] == 100
+        assert row["messages"] == 1
+        assert row["phase"] == "light"
+        assert row["bucket"] == 0
+        assert row["edges"] == 10
+        assert row["frontier"] == 5
+
+    def test_totals(self):
+        report = RunReport.from_events(_make_trace().events)
+        t = report.totals()
+        assert t["total_bytes"] == 2 * (100 + 200)
+        assert t["total_messages"] == 2 * (1 + 2)
+        assert t["supersteps"] == 4
+        assert t["allreduces"] == 4
+        assert t["roots"] == 2
+
+    def test_per_root_views(self):
+        report = RunReport.from_events(_make_trace().events)
+        assert len(report.steps_of_root(0)) == 2
+        assert report.wavefront(root=1) == [100, 200]
+        assert sum(report.wavefront()) == report.total_bytes
+
+    def test_rows_sorted_by_root_then_step(self):
+        report = RunReport.from_events(_make_trace().events)
+        keys = [(r["root"], r["step"]) for r in report.steps]
+        assert keys == sorted(keys)
+
+    def test_span_summary(self):
+        report = RunReport.from_events(_make_trace().events)
+        by_name = {(a["cat"], a["name"]): a for a in report.span_summary}
+        assert by_name[("engine", "superstep")]["count"] == 4
+        assert by_name[("harness", "root")]["count"] == 2
+        assert by_name[("harness", "root")]["wall_s"] > 0.0
+
+    def test_meta_and_metrics_collected(self):
+        tr = _make_trace()
+        tr.emit_metrics("engine", {"counters": {"epochs": 3}})
+        report = RunReport.from_events(tr.events)
+        assert report.meta["scale"] == 10
+        assert report.metrics["engine"]["counters"]["epochs"] == 3
+
+    def test_exchange_outside_any_span(self):
+        tr = Tracer()
+        tr.event("exchange", cat="fabric", step=0, bytes=64, messages=1)
+        report = RunReport.from_events(tr.events)
+        row = report.steps[0]
+        assert row["root"] == -1
+        assert row["phase"] is None and row["edges"] is None
+        assert report.total_bytes == 64
+
+
+class TestRendering:
+    def test_to_dict_json_serializable(self):
+        import json
+
+        report = RunReport.from_events(_make_trace().events)
+        parsed = json.loads(report.to_json())
+        assert parsed["totals"] == report.totals()
+        assert len(parsed["steps"]) == 4
+
+    def test_render_text_timeline(self):
+        text = RunReport.from_events(_make_trace().events).render_text()
+        assert "per-superstep timeline" in text
+        assert "spans" in text
+        assert "supersteps: 4" in text
+
+    def test_render_text_caps_rows(self):
+        text = RunReport.from_events(_make_trace().events).render_text(max_rows=2)
+        assert "first 2 of 4 steps" in text
+
+    def test_empty_report(self):
+        report = RunReport.from_events([])
+        assert report.totals()["supersteps"] == 0
+        assert "supersteps: 0" in report.render_text()

@@ -1,0 +1,73 @@
+"""Tests for the telemetry sinks: JSONL round-trip, Chrome trace validity."""
+
+import json
+
+from repro.obs import (
+    JsonlSink,
+    RunReport,
+    Tracer,
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer(path=None):
+    sinks = [JsonlSink(path)] if path else []
+    tr = Tracer(sinks=sinks)
+    tr.add_meta(scale=10, ranks=4)
+    with tr.span("root", cat="harness", index=0):
+        with tr.span("superstep", cat="engine", phase="light", bucket=0) as sp:
+            tr.event("exchange", cat="fabric", step=0, bytes=128, messages=3)
+            sp.tag(edges=42)
+        tr.event("allreduce", cat="fabric", op="min")
+    tr.close()
+    return tr
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = _sample_tracer(path)
+        records = read_jsonl(path)
+        assert records == tr.events
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tr = _sample_tracer(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(tr.events)
+        for line in lines:
+            json.loads(line)
+
+    def test_report_from_round_tripped_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _sample_tracer(path)
+        report = RunReport.from_jsonl(path)
+        assert report.total_bytes == 128
+        assert report.steps[0]["edges"] == 42
+
+
+class TestChromeTrace:
+    def test_export_validity(self, tmp_path):
+        tr = _sample_tracer()
+        path = tmp_path / "c.json"
+        write_chrome_trace(tr.events, path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "i" in phases
+        for e in events:
+            assert "pid" in e and "name" in e
+            if e["ph"] == "X":
+                assert e["dur"] >= 0.0 and e["ts"] >= 0.0
+
+    def test_spans_carry_tags_as_args(self):
+        tr = _sample_tracer()
+        events = chrome_trace_events(tr.events)
+        steps = [e for e in events if e["ph"] == "X" and e["name"] == "superstep"]
+        assert steps and steps[0]["args"]["edges"] == 42
+
+    def test_empty_record_list(self):
+        assert all(e["ph"] == "M" for e in chrome_trace_events([]))

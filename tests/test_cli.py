@@ -21,6 +21,16 @@ class TestParser:
         assert args.target_scale == 42
         assert args.efficiency == 0.25
 
+    def test_run_trace_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_out is None
+        assert args.report_out is None
+        assert args.chrome_out is None
+
+    def test_inspect_requires_trace_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inspect"])
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -77,3 +87,41 @@ class TestCommands:
         assert rc == 0
         assert "2-D checkerboard" in out
         assert "1-D optimized" in out
+
+
+class TestTelemetryWorkflow:
+    def test_run_with_trace_report_chrome_then_inspect(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        report = tmp_path / "report.json"
+        chrome = tmp_path / "chrome.json"
+        rc = main(
+            [
+                "run", "--scale", "8", "--ranks", "2", "--roots", "2",
+                "--trace-out", str(trace),
+                "--report-out", str(report),
+                "--chrome-out", str(chrome),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace:" in out and "report:" in out and "chrome trace:" in out
+
+        # The report's per-superstep byte totals are internally consistent.
+        payload = json.loads(report.read_text())
+        assert payload["totals"]["total_bytes"] == sum(
+            row["bytes"] for row in payload["steps"]
+        )
+        assert payload["totals"]["supersteps"] == len(payload["steps"])
+        assert payload["meta"]["scale"] == 8
+
+        # The chrome export is a loadable trace_event file.
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+        # inspect renders a timeline summary from the saved trace.
+        rc = main(["inspect", str(trace)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-superstep timeline" in out
+        assert "supersteps:" in out

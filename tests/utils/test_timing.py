@@ -1,0 +1,56 @@
+"""Tests for wall-clock timers: accumulation and re-entrancy protection."""
+
+import pytest
+
+from repro.utils.timing import Counters, Timer
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.laps == 2
+        assert t.seconds >= 0.0
+
+    def test_running_property(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_reentry_raises_instead_of_dropping_outer_lap(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="already running"):
+            with t:
+                with t:
+                    pass  # pragma: no cover
+
+    def test_exit_without_entry_raises(self):
+        with pytest.raises(RuntimeError, match="without entry"):
+            Timer().__exit__(None, None, None)
+
+    def test_reset_clears_open_lap(self):
+        t = Timer()
+        t.__enter__()
+        t.reset()
+        assert not t.running
+        with t:  # usable again after reset
+            pass
+        assert t.laps == 1
+
+
+class TestCounters:
+    def test_add_get_merge(self):
+        a = Counters()
+        a.add("edges", 10)
+        b = Counters()
+        b.add("edges", 5)
+        b.add("msgs")
+        a.merge(b)
+        assert a["edges"] == 15
+        assert a.get("msgs") == 1
+        assert a.as_dict() == {"edges": 15, "msgs": 1}
