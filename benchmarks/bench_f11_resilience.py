@@ -1,0 +1,88 @@
+"""F11 — resilience overhead: modeled slowdown vs injected fault rate.
+
+The fault-injection layer guarantees answers are bit-identical under any
+schedule; what faults *do* cost is modeled time (ack timeouts, backoff,
+stalls) and retried bytes.  This experiment quantifies that: the 1-D engine
+runs under increasing message-drop rates (plus a mixed drop+delay+stall
+environment), and the figure reports the slowdown and retransmission
+overhead relative to the fault-free run.
+
+Expected shape: overhead grows monotonically with the drop rate;
+retransmitted bytes track ``drop / (1 - drop)`` of goodput (each attempt
+re-drops independently); distances never change.
+"""
+
+import numpy as np
+
+from repro import api
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+from repro.graph500.report import render_table
+from repro.graph500.roots import sample_roots
+
+FAULT_LEVELS = [
+    ("none", None),
+    ("drop 1%", "drop=0.01,seed=11"),
+    ("drop 5%", "drop=0.05,seed=11"),
+    ("drop 10%", "drop=0.10,seed=11"),
+    ("drop 20%", "drop=0.20,seed=11"),
+    ("mixed", "drop=0.05,delay=5us,jitter=2us,stall=0.05,degraded=0.2,seed=11"),
+]
+
+
+def _run_level(graph, roots, faults, num_ranks=16):
+    runs = [
+        api.run(graph, int(r), engine="dist1d", num_ranks=num_ranks, faults=faults)
+        for r in roots
+    ]
+    return {
+        "sim_s": float(np.mean([r.modeled_time for r in runs])),
+        "bytes": int(np.mean([r.comm["total_bytes"] for r in runs])),
+        "retry_bytes": int(np.mean([r.comm["bytes_retransmitted"] for r in runs])),
+        "retries": int(np.mean([r.comm["retries"] for r in runs])),
+        "dists": [r.result.dist for r in runs],
+    }
+
+
+def test_f11_resilience(benchmark, write_result):
+    def run_all():
+        graph = build_csr(generate_kronecker(14, seed=2022))
+        roots = sample_roots(graph, 2, seed=7)
+        levels = {name: _run_level(graph, roots, faults) for name, faults in FAULT_LEVELS}
+        base = levels["none"]
+        rows = []
+        for name, stats in levels.items():
+            rows.append(
+                {
+                    "faults": name,
+                    "sim_s": stats["sim_s"],
+                    "slowdown": stats["sim_s"] / base["sim_s"],
+                    "retry_bytes": stats["retry_bytes"],
+                    "retry_frac": stats["retry_bytes"] / stats["bytes"],
+                    "retries": stats["retries"],
+                }
+            )
+        return rows, levels
+
+    (rows, levels) = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_result(
+        "F11_resilience",
+        render_table(
+            rows, title="F11: modeled slowdown vs fault rate (scale 14, 16 ranks)"
+        ),
+    )
+    base = levels["none"]
+    for name, stats in levels.items():
+        # Resilience invariant: every fault schedule yields the exact answer.
+        for d_ref, d in zip(base["dists"], stats["dists"]):
+            assert np.array_equal(d_ref, d), f"{name} changed the distances"
+    by = {row["faults"]: row for row in rows}
+    assert by["none"]["slowdown"] == 1.0
+    assert by["none"]["retry_bytes"] == 0
+    # Overhead is monotone in the drop rate.
+    drops = ["none", "drop 1%", "drop 5%", "drop 10%", "drop 20%"]
+    slowdowns = [by[name]["slowdown"] for name in drops]
+    assert all(a <= b for a, b in zip(slowdowns, slowdowns[1:]))
+    retry = [by[name]["retry_bytes"] for name in drops]
+    assert all(a <= b for a, b in zip(retry, retry[1:]))
+    assert by["drop 20%"]["retry_bytes"] > 0

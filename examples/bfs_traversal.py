@@ -9,7 +9,8 @@ import sys
 
 import numpy as np
 
-from repro.bfs import bfs, distributed_bfs, validate_bfs
+from repro import run as run_engine
+from repro.bfs import bfs, validate_bfs
 from repro.graph import build_csr, generate_kronecker
 
 
@@ -30,10 +31,10 @@ def main() -> None:
 
     print("\n== Distributed BFS (16 ranks)")
     for direction in ("top_down", "auto"):
-        run = distributed_bfs(graph, src, num_ranks=16, direction=direction)
+        run = run_engine(graph, src, engine="bfs", num_ranks=16, direction=direction)
         assert validate_bfs(graph, run.result).ok
-        print(f"   {direction:10s} {run.trace_summary['total_bytes']:>9d} wire bytes, "
-              f"{run.simulated_seconds*1e3:.3f} ms simulated, "
+        print(f"   {direction:10s} {run.comm['total_bytes']:>9d} wire bytes, "
+              f"{run.modeled_time*1e3:.3f} ms simulated, "
               f"{run.teps(graph):.3g} TEPS")
 
     print("\nThe 'auto' switch is why record-scale BFS is possible: the middle")

@@ -11,8 +11,9 @@ Run:  python examples/custom_graph.py
 
 import numpy as np
 
+from repro import run as run_engine
 from repro.baselines import dijkstra
-from repro.core import SSSPConfig, choose_delta, distributed_sssp
+from repro.core import choose_delta
 from repro.graph import build_csr, degree_stats, generate_kronecker, grid_graph
 from repro.graph500 import validate_sssp
 
@@ -28,7 +29,7 @@ def main() -> None:
     print(f"   adaptive delta = {delta:.3f}")
 
     source = 0
-    run = distributed_sssp(grid, source, num_ranks=8)
+    run = run_engine(grid, source, engine="dist1d", num_ranks=8)
     ref = dijkstra(grid, source)
     assert np.array_equal(run.result.dist, ref.dist)
     print(f"   distributed(8) matches Dijkstra on all {ref.num_reached} vertices")
@@ -41,7 +42,7 @@ def main() -> None:
     kstats = degree_stats(kron)
     print(f"   max degree {kstats.max_degree}, gini {kstats.gini:.2f}")
     src = int(np.argmax(kron.out_degree))
-    krun = distributed_sssp(kron, src, num_ranks=8)
+    krun = run_engine(kron, src, engine="dist1d", num_ranks=8)
     print(f"   hubs delegated: {krun.result.meta['num_hubs']}")
 
     print("\n== Behaviour comparison (same engine, both exact):")

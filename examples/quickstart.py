@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Quickstart: generate a Graph500 graph, run SSSP three ways, validate.
+"""Quickstart: generate a Graph500 graph, run SSSP via the unified facade
+(shared, distributed, and distributed-under-faults), validate.
 
 Run:  python examples/quickstart.py [scale]
 """
@@ -8,8 +9,8 @@ import sys
 
 import numpy as np
 
+from repro import run
 from repro.baselines import dijkstra
-from repro.core import delta_stepping, distributed_sssp
 from repro.graph import build_csr, degree_stats, generate_kronecker
 from repro.graph500 import validate_sssp
 
@@ -31,21 +32,30 @@ def main() -> None:
     ref = dijkstra(graph, source)
     print(f"   dijkstra:        reached {ref.num_reached} vertices")
 
-    res = delta_stepping(graph, source)
+    shared = run(graph, source, engine="shared")
+    res = shared.result
     print(f"   delta-stepping:  delta={res.meta['delta']:.3f}, "
           f"{res.counters['epochs']} epochs, {res.counters['phases']} phases")
     assert np.array_equal(res.dist, ref.dist), "distances must match the oracle"
 
-    run = distributed_sssp(graph, source, num_ranks=8)
-    print(f"   distributed(8):  {run.result.counters['light_supersteps']} supersteps, "
-          f"{run.trace_summary['total_bytes']} wire bytes, "
-          f"{run.simulated_seconds * 1e3:.3f} ms simulated")
-    assert np.array_equal(run.result.dist, ref.dist)
+    dist = run(graph, source, engine="dist1d", num_ranks=8)
+    print(f"   distributed(8):  {dist.result.counters['light_supersteps']} supersteps, "
+          f"{dist.comm['total_bytes']} wire bytes, "
+          f"{dist.modeled_time * 1e3:.3f} ms simulated")
+    assert np.array_equal(dist.result.dist, ref.dist)
 
-    print("\n== 3. Graph500 validation")
-    report = validate_sssp(graph, run.result)
+    print("\n== 3. Same run under injected fabric faults (drop 5% of messages)")
+    faulty = run(graph, source, engine="dist1d", num_ranks=8,
+                 faults="drop=0.05,seed=7")
+    assert np.array_equal(faulty.result.dist, ref.dist), "faults never change answers"
+    print(f"   retransmitted {faulty.comm['bytes_retransmitted']} bytes over "
+          f"{faulty.comm['retries']} retry rounds; simulated time "
+          f"{dist.modeled_time * 1e3:.3f} -> {faulty.modeled_time * 1e3:.3f} ms")
+
+    print("\n== 4. Graph500 validation")
+    report = validate_sssp(graph, dist.result)
     print(f"   validation: {'PASSED' if report.ok else 'FAILED ' + str(report.failures)}")
-    print(f"   simulated TEPS: {run.teps(graph):.3g}")
+    print(f"   simulated TEPS: {dist.teps(graph):.3g}")
 
 
 if __name__ == "__main__":

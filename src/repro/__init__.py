@@ -1,16 +1,27 @@
 """repro — reproduction of "Scaling Graph 500 SSSP to 140 Trillion Edges
 with over 40 Million Cores" (SC 2022).
 
-The public API re-exports the pieces a downstream user touches directly:
+The recommended entry point is the unified engine facade :func:`repro.run`
+(alias of :func:`repro.api.run`):
 
->>> from repro import generate_kronecker, build_csr, distributed_sssp
+>>> from repro import build_csr, generate_kronecker, run
 >>> graph = build_csr(generate_kronecker(12))
->>> run = distributed_sssp(graph, source=0, num_ranks=8)
+>>> out = run(graph, source=0, engine="dist1d", num_ranks=8)
+>>> out.result.dist, out.modeled_time, out.report()
+
+The same call runs any engine (``dist1d``, ``dist2d``, ``bfs``,
+``shared``), and accepts ``faults="drop=0.01,delay=2us,seed=7"`` to inject
+deterministic fabric faults — answers stay bit-identical; only modeled
+time and retransmission accounting change.
+
+The historical per-engine functions (``distributed_sssp``,
+``delta_stepping``, ...) remain as deprecated wrappers.
 
 See README.md for the architecture overview and DESIGN.md for the
 reproduction methodology (what is measured vs. modeled).
 """
 
+from repro.api import run
 from repro.core import (
     SSSPConfig,
     SSSPResult,
@@ -20,11 +31,20 @@ from repro.core import (
 )
 from repro.graph import build_csr, generate_kronecker
 from repro.graph500 import run_graph500_sssp, validate_sssp
-from repro.simmpi import MachineSpec, small_cluster, sunway_exascale
+from repro.simmpi import (
+    FaultPlan,
+    FaultSpec,
+    MachineSpec,
+    parse_faults,
+    small_cluster,
+    sunway_exascale,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
     "MachineSpec",
     "SSSPConfig",
     "SSSPResult",
@@ -34,6 +54,8 @@ __all__ = [
     "delta_stepping",
     "distributed_sssp",
     "generate_kronecker",
+    "parse_faults",
+    "run",
     "run_graph500_sssp",
     "small_cluster",
     "sunway_exascale",

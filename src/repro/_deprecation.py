@@ -1,0 +1,24 @@
+"""Deprecation plumbing for the legacy per-engine entry points.
+
+The four historical functions (``distributed_sssp``, ``distributed_sssp_2d``,
+``distributed_bfs``, ``delta_stepping``) remain supported as thin wrappers,
+but :func:`repro.api.run` is the recommended entry point — one facade, one
+signature, one :class:`~repro.api.RunSummary` shape for every engine.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy"]
+
+
+def warn_legacy(old_name: str, engine: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point."""
+    warnings.warn(
+        f"{old_name}() is a legacy entry point; prefer "
+        f"repro.api.run(graph, source, engine={engine!r}, ...), the unified "
+        "facade (same answer, uniform RunSummary interface)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

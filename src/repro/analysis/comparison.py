@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import api
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import distributed_sssp
-from repro.core.twod_engine import distributed_sssp_2d
 from repro.graph.csr import CSRGraph
 from repro.graph500.roots import sample_roots
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -32,7 +31,7 @@ def engine_comparison(
 
     def _oned(config: SSSPConfig):
         return [
-            distributed_sssp(graph, int(r), num_ranks=num_ranks, machine=machine, config=config)
+            api.run(graph, int(r), engine="dist1d", num_ranks=num_ranks, machine=machine, config=config)
             for r in roots
         ]
 
@@ -41,7 +40,7 @@ def engine_comparison(
         "1-D baseline": _oned(SSSPConfig.baseline()),
         "1-D hierarchical": _oned(SSSPConfig(hierarchical_aggregation=True)),
         "2-D checkerboard": [
-            distributed_sssp_2d(graph, int(r), num_ranks=num_ranks, machine=machine)
+            api.run(graph, int(r), engine="dist2d", num_ranks=num_ranks, machine=machine)
             for r in roots
         ],
     }

@@ -1,0 +1,263 @@
+"""The unified engine API: one ``run()`` facade over every SSSP/BFS engine.
+
+Historically the package grew four divergent entry points
+(``distributed_sssp``, ``distributed_sssp_2d``, ``distributed_bfs``,
+``delta_stepping``), each with its own signature and its own run-object
+shape.  This module is the single recommended front door:
+
+>>> from repro import api
+>>> run = api.run(graph, source, engine="dist1d", num_ranks=8)
+>>> run.result.dist          # the answer (bit-identical to the oracle)
+>>> run.modeled_time         # simulated seconds the cost model charged
+>>> run.comm                 # exact communication statistics
+>>> run.report()             # uniform engine-agnostic report dict
+
+Every engine returns an object satisfying the :class:`RunSummary` protocol,
+and every engine accepts the same cross-cutting knobs — ``machine``
+(the simulated hardware), ``config`` (:class:`~repro.core.config.SSSPConfig`),
+``faults`` (a :class:`~repro.simmpi.faults.FaultSpec` / plan / CLI string
+injected at the fabric), and ``tracer`` (run telemetry).  Engine-specific
+extras (``grid`` for the 2-D engine, ``direction`` for BFS, ...) pass
+through as keyword arguments.
+
+The legacy functions remain as thin deprecated wrappers around the same
+engine implementations; new code should not call them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.config import SSSPConfig
+from repro.core.delta_stepping import _delta_stepping
+from repro.core.dist_sssp import _distributed_sssp
+from repro.core.result import SSSPResult
+from repro.core.twod_engine import _distributed_sssp_2d
+from repro.bfs.dist_bfs import _distributed_bfs
+from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer
+from repro.simmpi.faults import FaultPlan, FaultSpec
+from repro.simmpi.machine import MachineSpec
+
+__all__ = ["ENGINES", "RunSummary", "SharedRun", "run"]
+
+#: Engine names accepted by :func:`run`, in documentation order.
+ENGINES = ("dist1d", "dist2d", "bfs", "shared")
+
+
+@runtime_checkable
+class RunSummary(Protocol):
+    """What every engine's run object guarantees.
+
+    Attributes:
+        engine: short engine name (``dist1d``/``dist2d``/``bfs``/``shared``).
+        result: the engine's answer object (distances/parents + counters).
+        modeled_time: simulated seconds charged by the cost model (0.0 for
+            the shared-memory kernel, which has no cost model).
+        comm: exact communication statistics (``CommTrace.summary()``
+            shape; empty for the shared-memory kernel).
+
+    Methods:
+        report: one engine-agnostic dict (engine, num_ranks, modeled_time,
+            time_breakdown, comm, counters, work_imbalance, meta).
+    """
+
+    engine: str
+
+    @property
+    def result(self): ...
+
+    @property
+    def modeled_time(self) -> float: ...
+
+    @property
+    def comm(self) -> dict: ...
+
+    def report(self) -> dict: ...
+
+
+@dataclass
+class SharedRun:
+    """RunSummary wrapper for the shared-memory ∆-stepping kernel.
+
+    The shared kernel has no fabric and no cost model, so ``modeled_time``
+    is 0.0 and ``comm`` is empty — the uniform interface still holds, which
+    is what lets callers flip ``engine=`` without restructuring.
+    """
+
+    engine = "shared"
+
+    result: SSSPResult
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_ranks(self) -> int:
+        return 1
+
+    @property
+    def modeled_time(self) -> float:
+        return 0.0
+
+    @property
+    def comm(self) -> dict:
+        return {}
+
+    def report(self) -> dict:
+        return {
+            "engine": self.engine,
+            "num_ranks": 1,
+            "modeled_time": 0.0,
+            "time_breakdown": {},
+            "comm": {},
+            "counters": self.result.counters.as_dict(),
+            "work_imbalance": 1.0,
+            "meta": dict(self.meta),
+        }
+
+
+def _run_dist1d(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+    _reject_extra("dist1d", extra)
+    return _distributed_sssp(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        config=config,
+        tracer=tracer,
+        faults=faults,
+    )
+
+
+def _run_dist2d(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+    grid = extra.pop("grid", None)
+    _reject_extra("dist2d", extra)
+    return _distributed_sssp_2d(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        grid=grid,
+        tracer=tracer,
+        config=config,
+        faults=faults,
+    )
+
+
+def _run_bfs(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+    if config is not None:
+        raise ValueError(
+            "engine 'bfs' takes no SSSPConfig; pass its own knobs directly "
+            "(direction=, partition=, hierarchical=, alpha=, beta=)"
+        )
+    allowed = {"direction", "alpha", "beta", "partition", "hierarchical"}
+    bad = set(extra) - allowed
+    if bad:
+        _reject_extra("bfs", {k: extra[k] for k in bad})
+    return _distributed_bfs(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        tracer=tracer,
+        faults=faults,
+        **extra,
+    )
+
+
+def _run_shared(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+    if machine is not None:
+        raise ValueError(
+            "engine 'shared' runs in-process without a cost model; "
+            "machine= does not apply (use a distributed engine)"
+        )
+    if faults is not None:
+        raise ValueError(
+            "engine 'shared' has no fabric to inject faults into; "
+            "faults= requires a distributed engine (dist1d, dist2d, bfs)"
+        )
+    max_phases = extra.pop("max_phases", None)
+    _reject_extra("shared", extra)
+    delta = None
+    if config is not None:
+        delta = config.delta
+    result = _delta_stepping(
+        graph, source, delta=delta, max_phases=max_phases, tracer=tracer
+    )
+    return SharedRun(result=result)
+
+
+_DISPATCH = {
+    "dist1d": _run_dist1d,
+    "dist2d": _run_dist2d,
+    "bfs": _run_bfs,
+    "shared": _run_shared,
+}
+assert tuple(_DISPATCH) == ENGINES
+
+
+def _reject_extra(engine: str, extra: dict) -> None:
+    if extra:
+        raise TypeError(
+            f"engine {engine!r} got unexpected keyword arguments: "
+            f"{sorted(extra)}"
+        )
+
+
+def run(
+    graph: CSRGraph,
+    source: int,
+    *,
+    engine: str = "dist1d",
+    num_ranks: int = 8,
+    machine: MachineSpec | None = None,
+    config: SSSPConfig | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+    tracer: Tracer | None = None,
+    **engine_kwargs,
+) -> RunSummary:
+    """Run one traversal on the simulated machine via the unified facade.
+
+    Args:
+        graph: the CSR graph to traverse.
+        source: source vertex.
+        engine: ``"dist1d"`` (1-D ∆-stepping, the paper's algorithm),
+            ``"dist2d"`` (checkerboard frontier relaxation), ``"bfs"``
+            (direction-optimizing kernel 2), or ``"shared"`` (the
+            in-process ∆-stepping reference kernel).
+        num_ranks: simulated ranks (ignored by ``shared``).
+        machine: simulated hardware (:class:`MachineSpec`); defaults to a
+            small commodity cluster sized to ``num_ranks``.
+        config: :class:`SSSPConfig` optimization knobs (``dist1d`` honors
+            all of them, ``dist2d`` the frontier-relevant subset; ``bfs``
+            rejects it in favor of its own keywords).
+        faults: fault-injection schedule for the fabric — a
+            :class:`FaultSpec`, a prebuilt :class:`FaultPlan`, or a CLI
+            string like ``"drop=0.01,delay=2us,seed=7"``.  Answers are
+            unchanged under faults; modeled time and retransmission
+            accounting are not.
+        tracer: optional run telemetry collector.
+        **engine_kwargs: engine-specific extras — ``grid=(r, c)`` for
+            ``dist2d``; ``direction=``, ``partition=``, ``hierarchical=``,
+            ``alpha=``, ``beta=`` for ``bfs``; ``max_phases=`` for
+            ``shared``.
+
+    Returns:
+        An engine run object satisfying :class:`RunSummary`.
+    """
+    try:
+        dispatch = _DISPATCH[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; options: {', '.join(ENGINES)}"
+        ) from None
+    return dispatch(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        config=config,
+        faults=faults,
+        tracer=tracer,
+        **engine_kwargs,
+    )

@@ -10,8 +10,9 @@ very different simulated cost.
 
 from __future__ import annotations
 
+from repro import api
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import DistSSSPRun, distributed_sssp
+from repro.core.dist_sssp import DistSSSPRun
 from repro.graph.csr import CSRGraph
 from repro.simmpi.machine import MachineSpec
 
@@ -36,4 +37,4 @@ def simple_distributed_sssp(
             fuse_buckets=config.fuse_buckets,
             compressed_indices=config.compressed_indices,
         )
-    return distributed_sssp(graph, source, num_ranks=num_ranks, machine=machine, config=config)
+    return api.run(graph, source, engine="dist1d", num_ranks=num_ranks, machine=machine, config=config)

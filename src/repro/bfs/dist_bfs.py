@@ -21,12 +21,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._deprecation import warn_legacy
 from repro.bfs.kernel import BFSResult, _bottom_up_step, _NO_PARENT
 from repro.core.relaxation import frontier_edges
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, block1d_edge_balanced
 from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
 
 __all__ = ["distributed_bfs", "DistBFSRun"]
@@ -34,7 +36,13 @@ __all__ = ["distributed_bfs", "DistBFSRun"]
 
 @dataclass
 class DistBFSRun:
-    """Outcome of one distributed BFS: answer plus simulated costs."""
+    """Outcome of one distributed BFS: answer plus simulated costs.
+
+    Implements the :class:`repro.api.RunSummary` protocol (``result``,
+    ``modeled_time``, ``comm``, ``report()``) shared by every engine.
+    """
+
+    engine = "bfs"
 
     result: BFSResult
     num_ranks: int
@@ -43,6 +51,29 @@ class DistBFSRun:
     trace_summary: dict[str, float | int]
     work_imbalance: float
     meta: dict = field(default_factory=dict)
+
+    @property
+    def modeled_time(self) -> float:
+        """Simulated seconds the cost model charged (RunSummary protocol)."""
+        return self.simulated_seconds
+
+    @property
+    def comm(self) -> dict[str, float | int]:
+        """Exact communication statistics (RunSummary protocol)."""
+        return self.trace_summary
+
+    def report(self) -> dict:
+        """Uniform engine-agnostic run report (RunSummary protocol)."""
+        return {
+            "engine": self.engine,
+            "num_ranks": self.num_ranks,
+            "modeled_time": self.modeled_time,
+            "time_breakdown": dict(self.time_breakdown),
+            "comm": dict(self.comm),
+            "counters": self.result.counters.as_dict(),
+            "work_imbalance": self.work_imbalance,
+            "meta": dict(self.meta),
+        }
 
     def teps(self, graph: CSRGraph) -> float:
         if self.simulated_seconds <= 0:
@@ -153,12 +184,51 @@ def distributed_bfs(
     partition: str = "edge_balanced",
     hierarchical: bool = False,
     tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+) -> DistBFSRun:
+    """Legacy entry point for the distributed BFS engine.
+
+    .. deprecated::
+        Prefer ``repro.api.run(graph, source, engine="bfs", ...)`` — the
+        unified facade with the same semantics and a uniform return shape.
+    """
+    warn_legacy("distributed_bfs", "bfs")
+    return _distributed_bfs(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        direction=direction,
+        alpha=alpha,
+        beta=beta,
+        partition=partition,
+        hierarchical=hierarchical,
+        tracer=tracer,
+        faults=faults,
+    )
+
+
+def _distributed_bfs(
+    graph: CSRGraph,
+    source: int,
+    num_ranks: int = 8,
+    machine: MachineSpec | None = None,
+    direction: str = "auto",
+    alpha: float = 15.0,
+    beta: float = 18.0,
+    partition: str = "edge_balanced",
+    hierarchical: bool = False,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
 ) -> DistBFSRun:
     """Distributed BFS; returns levels/parents identical to the shared kernel's
     reachability and validated by :func:`repro.bfs.validation.validate_bfs`.
 
     ``tracer`` (optional) receives one ``level`` span per BFS level plus the
-    fabric's per-exchange byte events.
+    fabric's per-exchange byte events.  ``faults`` (optional) injects a
+    deterministic fault schedule at the fabric (drops with ack/retry,
+    delays, stalls, degraded links); the tree is unchanged, only modeled
+    time and the retransmission accounting.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -177,7 +247,9 @@ def distributed_bfs(
             f"got {partition!r}"
         )
     machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks, hierarchical=hierarchical, tracer=tracer)
+    fabric = Fabric(
+        machine, num_ranks, hierarchical=hierarchical, tracer=tracer, faults=faults
+    )
     owner = np.asarray(part.owner_array)
     ranks = [
         _BFSRank(r, graph, part.vertices_of(r), owner, num_ranks)
@@ -263,6 +335,12 @@ def distributed_bfs(
         "edges_inspected", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
     )
     result.meta.update(direction=direction, num_ranks=num_ranks, partition=part.kind)
+    if fabric.faults is not None:
+        result.meta["faults"] = fabric.faults.spec.describe()
+        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
+        result.counters.add("retry_rounds", fabric.trace.retries)
+        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
+        result.counters.add("rank_stalls", fabric.trace.stalls)
     return DistBFSRun(
         result=result,
         num_ranks=num_ranks,

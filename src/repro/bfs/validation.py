@@ -20,13 +20,16 @@ import numpy as np
 
 from repro.bfs.kernel import BFSResult
 from repro.graph.csr import CSRGraph
-from repro.graph500.validation import ValidationReport
 
 __all__ = ["validate_bfs"]
 
 
-def validate_bfs(graph: CSRGraph, result: BFSResult) -> ValidationReport:
+def validate_bfs(graph: CSRGraph, result: BFSResult) -> "ValidationReport":  # noqa: F821
     """Run all five BFS checks; see module docstring."""
+    # Imported here, not at module scope: graph500.bfs_harness imports this
+    # module, so a top-level import of the graph500 package would be circular.
+    from repro.graph500.validation import ValidationReport
+
     failures: list[str] = []
     n = graph.num_vertices
     level = result.level

@@ -29,12 +29,25 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=2022)
 
 
+def _parse_faults_arg(text: str | None):
+    """Parse ``--faults`` early so a typo fails before the benchmark runs."""
+    if not text:
+        return None
+    from repro.simmpi.faults import parse_faults
+
+    try:
+        return parse_faults(text)
+    except ValueError as exc:
+        raise SystemExit(f"repro: invalid --faults {text!r}: {exc}") from None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.config import SSSPConfig
     from repro.graph500.harness import run_graph500_sssp
     from repro.graph500.report import render_output_block
 
     config = SSSPConfig.baseline() if args.baseline else SSSPConfig.optimized()
+    faults = _parse_faults_arg(args.faults)
     tracer = None
     tracing = args.trace_out or args.report_out or args.chrome_out
     if tracing:
@@ -43,6 +56,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
         tracer = Tracer(sinks=sinks)
         tracer.add_meta(command="run", baseline=bool(args.baseline))
+        if faults is not None:
+            tracer.add_meta(faults=faults.describe())
     result = run_graph500_sssp(
         scale=args.scale,
         num_ranks=args.ranks,
@@ -50,8 +65,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         config=config,
         tracer=tracer,
+        faults=faults,
+        engine=args.engine,
     )
     print(render_output_block(result))
+    if faults is not None:
+        retry = result.totals("bytes_retransmitted")
+        drops = result.totals("messages_dropped")
+        stalls = result.totals("rank_stalls")
+        print(
+            f"faults: {faults.describe()} -> {drops} drops, "
+            f"{retry} bytes retransmitted, {stalls} stalls (answers validated)"
+        )
     if tracer is not None:
         tracer.close()
         if args.trace_out:
@@ -99,17 +124,26 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_bfs(args: argparse.Namespace) -> int:
-    from repro.bfs import distributed_bfs, validate_bfs
+    from repro import api
+    from repro.bfs import validate_bfs
     from repro.graph.csr import build_csr
     from repro.graph.kronecker import generate_kronecker
     from repro.graph500.report import render_table
 
+    faults = _parse_faults_arg(args.faults)
     graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
     src = int(np.argmax(graph.out_degree))
     rows = []
     ok = True
     for direction in ("top_down", "auto"):
-        run = distributed_bfs(graph, src, num_ranks=args.ranks, direction=direction)
+        run = api.run(
+            graph,
+            src,
+            engine="bfs",
+            num_ranks=args.ranks,
+            direction=direction,
+            faults=faults,
+        )
         ok &= validate_bfs(graph, run.result).ok
         rows.append(
             {
@@ -206,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--roots", type=int, default=16)
     p_run.add_argument("--baseline", action="store_true")
     p_run.add_argument(
+        "--engine",
+        choices=("dist1d", "dist2d"),
+        default="dist1d",
+        help="distributed SSSP engine for kernel 3",
+    )
+    p_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic fabric faults, e.g. "
+            "'drop=0.01,delay=2us,seed=7' (answers unchanged; modeled time "
+            "and retransmitted bytes are not)"
+        ),
+    )
+    p_run.add_argument(
         "--trace-out", default=None, help="write the telemetry stream as JSONL"
     )
     p_run.add_argument(
@@ -225,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bfs = sub.add_parser("bfs", help="kernel-2 BFS extension")
     _add_common(p_bfs)
+    p_bfs.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic fabric faults (see 'run --faults')",
+    )
     p_bfs.set_defaults(func=_cmd_bfs)
 
     p_abl = sub.add_parser("ablation", help="optimization ablation table")

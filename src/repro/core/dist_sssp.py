@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._deprecation import warn_legacy
 from repro.core.adaptive import choose_delta
 from repro.core.buckets import BucketQueue
 from repro.core.coalescing import dedup_min, pack_updates, unpack_updates
@@ -47,6 +48,7 @@ from repro.partition import (
     hashed1d,
 )
 from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
 
 __all__ = ["distributed_sssp", "DistSSSPRun"]
@@ -315,7 +317,13 @@ class _Rank:
 
 @dataclass
 class DistSSSPRun:
-    """Everything a distributed run produced: answer, costs, measurements."""
+    """Everything a distributed run produced: answer, costs, measurements.
+
+    Implements the :class:`repro.api.RunSummary` protocol (``result``,
+    ``modeled_time``, ``comm``, ``report()``) shared by every engine.
+    """
+
+    engine = "dist1d"
 
     result: SSSPResult
     config: SSSPConfig
@@ -331,6 +339,29 @@ class DistSSSPRun:
     step_bytes: list[int] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
 
+    @property
+    def modeled_time(self) -> float:
+        """Simulated seconds the cost model charged (RunSummary protocol)."""
+        return self.simulated_seconds
+
+    @property
+    def comm(self) -> dict[str, float | int]:
+        """Exact communication statistics (RunSummary protocol)."""
+        return self.trace_summary
+
+    def report(self) -> dict:
+        """Uniform engine-agnostic run report (RunSummary protocol)."""
+        return {
+            "engine": self.engine,
+            "num_ranks": self.num_ranks,
+            "modeled_time": self.modeled_time,
+            "time_breakdown": dict(self.time_breakdown),
+            "comm": dict(self.comm),
+            "counters": self.result.counters.as_dict(),
+            "work_imbalance": self.work_imbalance,
+            "meta": dict(self.meta),
+        }
+
     def teps(self, graph: CSRGraph) -> float:
         """Traversed edges per simulated second (Graph500 metric)."""
         if self.simulated_seconds <= 0:
@@ -345,6 +376,34 @@ def distributed_sssp(
     machine: MachineSpec | None = None,
     config: SSSPConfig | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+) -> DistSSSPRun:
+    """Legacy entry point for the 1-D ∆-stepping engine.
+
+    .. deprecated::
+        Prefer ``repro.api.run(graph, source, engine="dist1d", ...)`` — the
+        unified facade with the same semantics and a uniform return shape.
+    """
+    warn_legacy("distributed_sssp", "dist1d")
+    return _distributed_sssp(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        config=config,
+        tracer=tracer,
+        faults=faults,
+    )
+
+
+def _distributed_sssp(
+    graph: CSRGraph,
+    source: int,
+    num_ranks: int = 8,
+    machine: MachineSpec | None = None,
+    config: SSSPConfig | None = None,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
 ) -> DistSSSPRun:
     """Run distributed ∆-stepping SSSP on a simulated machine.
 
@@ -355,6 +414,11 @@ def distributed_sssp(
     ``tracer`` (optional) receives the run's telemetry — epoch/superstep
     spans, per-exchange byte events, a metrics snapshot; ``None`` selects
     the no-op tracer, whose cost is one attribute check per superstep.
+
+    ``faults`` (optional) injects a deterministic fault schedule at the
+    fabric (drops with ack/retry, delays, stalls, degraded links); the
+    distances stay bit-identical, only modeled time and the retransmission
+    accounting change.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -369,6 +433,12 @@ def distributed_sssp(
         raise ValueError("num_ranks must be >= 1")
 
     delta = config.delta if config.delta is not None else choose_delta(graph, config.delta_scale)
+    if not np.isfinite(delta) or delta <= 0:
+        raise ValueError(
+            f"bucket width delta must be positive and finite; the "
+            f"{'configured' if config.delta is not None else 'adaptive'} "
+            f"choice was {delta!r}"
+        )
     partition = _make_partition(graph, config.partition, num_ranks)
     owner = np.asarray(partition.owner_array)
 
@@ -384,7 +454,11 @@ def distributed_sssp(
         hubs = np.empty(0, dtype=np.int64)
 
     fabric = Fabric(
-        machine, num_ranks, hierarchical=config.hierarchical_aggregation, tracer=tracer
+        machine,
+        num_ranks,
+        hierarchical=config.hierarchical_aggregation,
+        tracer=tracer,
+        faults=faults,
     )
     metrics = MetricsRegistry()
     ranks = [
@@ -529,6 +603,12 @@ def distributed_sssp(
         num_hubs=int(hubs.size),
         variant=config.variant_name(),
     )
+    if fabric.faults is not None:
+        result.meta["faults"] = fabric.faults.spec.describe()
+        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
+        result.counters.add("retry_rounds", fabric.trace.retries)
+        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
+        result.counters.add("rank_stalls", fabric.trace.stalls)
     if tracer.enabled:
         metrics.gauge("work_imbalance").set(fabric.compute_imbalance("edges"))
         metrics.gauge("comm_imbalance").set(fabric.trace.comm_imbalance())

@@ -25,14 +25,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._deprecation import warn_legacy
 from repro.core.coalescing import dedup_min
+from repro.core.config import SSSPConfig
 from repro.core.relaxation import frontier_edges, scatter_min
 from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.types import EdgeList
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition import block1d, make_grid
+from repro.partition import block1d, block1d_edge_balanced, make_grid
 from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
 
 __all__ = ["distributed_sssp_2d", "TwoDRun"]
@@ -42,7 +45,13 @@ _INF = np.inf
 
 @dataclass
 class TwoDRun:
-    """Outcome of a 2-D engine run."""
+    """Outcome of a 2-D engine run.
+
+    Implements the :class:`repro.api.RunSummary` protocol (``result``,
+    ``modeled_time``, ``comm``, ``report()``) shared by every engine.
+    """
+
+    engine = "dist2d"
 
     result: SSSPResult
     rows: int
@@ -56,6 +65,29 @@ class TwoDRun:
     @property
     def num_ranks(self) -> int:
         return self.rows * self.cols
+
+    @property
+    def modeled_time(self) -> float:
+        """Simulated seconds the cost model charged (RunSummary protocol)."""
+        return self.simulated_seconds
+
+    @property
+    def comm(self) -> dict[str, float | int]:
+        """Exact communication statistics (RunSummary protocol)."""
+        return self.trace_summary
+
+    def report(self) -> dict:
+        """Uniform engine-agnostic run report (RunSummary protocol)."""
+        return {
+            "engine": self.engine,
+            "num_ranks": self.num_ranks,
+            "modeled_time": self.modeled_time,
+            "time_breakdown": dict(self.time_breakdown),
+            "comm": dict(self.comm),
+            "counters": self.result.counters.as_dict(),
+            "work_imbalance": 1.0,
+            "meta": dict(self.meta),
+        }
 
     def teps(self, graph: CSRGraph) -> float:
         if self.simulated_seconds <= 0:
@@ -74,9 +106,13 @@ class _GridRank:
         graph: CSRGraph,
         owner: np.ndarray,
         owned: np.ndarray,
+        coalesce: bool = True,
+        vertex_dtype: np.dtype = np.int64,
     ) -> None:
         self.rank = rank
         self._owner = owner
+        self.coalesce = coalesce
+        self.vertex_dtype = vertex_dtype
         self.grid_row = rank // cols
         self.grid_col = rank % cols
         self.rows = rows
@@ -112,7 +148,10 @@ class _GridRank:
         if self.frontier.size == 0:
             return out
         self.frontier = np.unique(self.frontier)
-        msg = Message(vertex=self.frontier, dist=self.dist[self.frontier])
+        msg = Message(
+            vertex=self.frontier.astype(self.vertex_dtype, copy=False),
+            dist=self.dist[self.frontier],
+        )
         for c in range(self.cols):
             if c != self.grid_col:
                 dst = self.grid_row * self.cols + c
@@ -140,11 +179,14 @@ class _GridRank:
         if src.size == 0:
             return {}
         cands = self.dist[src] + w
-        # Send-side coalescing: one minimum per target.
-        targets, best = dedup_min(dst, cands)
-        # Candidates that cannot improve our own replica are dead already.
-        keep = best < self.dist[targets]
-        targets, best = targets[keep], best[keep]
+        if self.coalesce:
+            # Send-side coalescing: one minimum per target, and candidates
+            # that cannot improve our own replica are dead already.
+            targets, best = dedup_min(dst, cands)
+            keep = best < self.dist[targets]
+            targets, best = targets[keep], best[keep]
+        else:
+            targets, best = dst, cands
         if targets.size == 0:
             return {}
         mine = self.owned_mask[targets]
@@ -164,7 +206,9 @@ class _GridRank:
         for dst_rank, t_chunk, b_chunk in zip(
             so[np.concatenate(([0], cuts))], np.split(st, cuts), np.split(sb, cuts)
         ):
-            msg = Message(vertex=t_chunk, dist=b_chunk)
+            msg = Message(
+                vertex=t_chunk.astype(self.vertex_dtype, copy=False), dist=b_chunk
+            )
             self.step_bytes += msg.nbytes
             out[int(dst_rank)] = msg
         return out
@@ -194,11 +238,55 @@ def distributed_sssp_2d(
     machine: MachineSpec | None = None,
     grid: tuple[int, int] | None = None,
     tracer: Tracer | None = None,
+    config: SSSPConfig | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+) -> TwoDRun:
+    """Legacy entry point for the 2-D engine.
+
+    .. deprecated::
+        Prefer ``repro.api.run(graph, source, engine="dist2d", ...)`` — the
+        unified facade with the same semantics and a uniform return shape.
+    """
+    warn_legacy("distributed_sssp_2d", "dist2d")
+    return _distributed_sssp_2d(
+        graph,
+        source,
+        num_ranks=num_ranks,
+        machine=machine,
+        grid=grid,
+        tracer=tracer,
+        config=config,
+        faults=faults,
+    )
+
+
+def _distributed_sssp_2d(
+    graph: CSRGraph,
+    source: int,
+    num_ranks: int = 16,
+    machine: MachineSpec | None = None,
+    grid: tuple[int, int] | None = None,
+    tracer: Tracer | None = None,
+    config: SSSPConfig | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
 ) -> TwoDRun:
     """Exact SSSP with 2-D frontier relaxation on a process grid.
 
     ``grid`` defaults to the most-square factorization of ``num_ranks``.
     ``tracer`` (optional) receives round spans and per-exchange events.
+    ``faults`` (optional) injects a deterministic fault schedule at the
+    fabric; answers are unchanged, only modeled time and retry accounting.
+
+    ``config`` (optional) applies the :class:`SSSPConfig` knobs that are
+    meaningful to a frontier engine: ``partition`` (vertex ownership),
+    ``coalesce`` (send-side dedup-min + replica filter) and
+    ``compressed_indices`` (uint32 vertex ids on the wire).  ``delta`` and
+    the bucket knobs do not apply — this engine relaxes the whole frontier
+    chaotically and has no buckets (the ∆-stepping ordering lives in the
+    1-D engine); they are ignored *by design*, not silently: the run's
+    ``meta['variant']`` records the applied configuration.  ``config=None``
+    reproduces the historical behavior exactly (block partition, coalescing
+    on, int64 wire ids).
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -209,11 +297,37 @@ def distributed_sssp_2d(
     if rows * cols != num_ranks:
         raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
     machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks, tracer=tracer)
-    part = block1d(n, num_ranks)
+    fabric = Fabric(machine, num_ranks, tracer=tracer, faults=faults)
+    if config is None:
+        part = block1d(n, num_ranks)
+        coalesce = True
+        vertex_dtype = np.int64
+    else:
+        if config.partition == "block":
+            part = block1d(n, num_ranks)
+        elif config.partition == "edge_balanced":
+            part = block1d_edge_balanced(graph, num_ranks)
+        else:
+            raise ValueError(
+                "the 2-D engine maps vertex owners onto grid columns and "
+                "needs a contiguous partition (block or edge_balanced); "
+                f"got {config.partition!r}"
+            )
+        coalesce = config.coalesce
+        small_enough = n <= int(np.iinfo(np.uint32).max)
+        vertex_dtype = np.uint32 if (config.compressed_indices and small_enough) else np.int64
     owner = np.asarray(part.owner_array)
     ranks = [
-        _GridRank(r, rows, cols, graph, owner, part.vertices_of(r))
+        _GridRank(
+            r,
+            rows,
+            cols,
+            graph,
+            owner,
+            part.vertices_of(r),
+            coalesce=coalesce,
+            vertex_dtype=vertex_dtype,
+        )
         for r in range(num_ranks)
     ]
     src_rank = ranks[int(owner[source])]
@@ -263,7 +377,17 @@ def distributed_sssp_2d(
     result.counters.add(
         "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
     )
-    result.meta.update(algorithm="distributed_sssp_2d", grid=f"{rows}x{cols}")
+    result.meta.update(
+        algorithm="distributed_sssp_2d", grid=f"{rows}x{cols}", partition=part.kind
+    )
+    if config is not None:
+        result.meta["variant"] = config.variant_name()
+    if fabric.faults is not None:
+        result.meta["faults"] = fabric.faults.spec.describe()
+        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
+        result.counters.add("retry_rounds", fabric.trace.retries)
+        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
+        result.counters.add("rank_stalls", fabric.trace.stalls)
     return TwoDRun(
         result=result,
         rows=rows,

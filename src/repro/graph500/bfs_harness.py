@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bfs.dist_bfs import distributed_bfs
+from repro import api
 from repro.bfs.validation import validate_bfs
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
@@ -84,8 +84,13 @@ def run_graph500_bfs(
     machine: MachineSpec | None = None,
     direction: str = "auto",
     validate: bool = True,
+    faults: object = None,
 ) -> BFSBenchmarkResult:
-    """Run the complete Graph500 BFS benchmark at the given scale."""
+    """Run the complete Graph500 BFS benchmark at the given scale.
+
+    ``faults`` injects a deterministic fault schedule into every root's
+    fabric (trees are unchanged; TEPS degrade by the modeled retry cost).
+    """
     machine = machine or small_cluster(max(num_ranks, 1))
     build_timer = Timer()
     with build_timer:
@@ -93,8 +98,14 @@ def run_graph500_bfs(
     roots = sample_roots(graph, num_roots, seed=seed)
     runs: list[BFSRootRun] = []
     for root in roots:
-        run = distributed_bfs(
-            graph, int(root), num_ranks=num_ranks, machine=machine, direction=direction
+        run = api.run(
+            graph,
+            int(root),
+            engine="bfs",
+            num_ranks=num_ranks,
+            machine=machine,
+            faults=faults,
+            direction=direction,
         )
         traversed = run.result.traversed_edges(graph)
         report = (

@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import api
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import DistSSSPRun, distributed_sssp
 from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.roots import sample_roots
@@ -103,8 +103,15 @@ def run_sssp_on_graph(
     config: SSSPConfig,
     validate: bool = True,
     tracer: Tracer | None = None,
+    faults: object = None,
+    engine: str = "dist1d",
 ) -> list[RootRun]:
-    """Kernel-3 loop: one distributed run per root, each validated."""
+    """Kernel-3 loop: one distributed run per root, each validated.
+
+    ``faults`` (a spec/plan/CLI string, see :mod:`repro.simmpi.faults`)
+    injects the same deterministic fault schedule into every root's fabric;
+    ``engine`` selects the distributed SSSP engine (``dist1d``/``dist2d``).
+    """
     if tracer is None:
         tracer = NULL_TRACER
     runs: list[RootRun] = []
@@ -113,12 +120,14 @@ def run_sssp_on_graph(
         # previous one so the root span doesn't straddle two clocks.
         tracer.use_sim_clock(None)
         with tracer.span("root", cat="harness", root=int(root), index=index):
-            run: DistSSSPRun = distributed_sssp(
+            run = api.run(
                 graph,
                 int(root),
+                engine=engine,
                 num_ranks=num_ranks,
                 machine=machine,
                 config=config,
+                faults=faults,
                 tracer=tracer,
             )
             traversed = run.result.traversed_edges(graph)
@@ -131,14 +140,14 @@ def run_sssp_on_graph(
         runs.append(
             RootRun(
                 root=int(root),
-                simulated_seconds=run.simulated_seconds,
-                teps=traversed / run.simulated_seconds,
+                simulated_seconds=run.modeled_time,
+                teps=traversed / run.modeled_time,
                 traversed_edges=traversed,
                 validation=report,
                 counters=run.result.counters.as_dict(),
                 time_breakdown=run.time_breakdown,
-                trace=run.trace_summary,
-                work_imbalance=run.work_imbalance,
+                trace=run.comm,
+                work_imbalance=getattr(run, "work_imbalance", 1.0),
             )
         )
     return runs
@@ -154,11 +163,17 @@ def run_graph500_sssp(
     config: SSSPConfig | None = None,
     validate: bool = True,
     tracer: Tracer | None = None,
+    faults: object = None,
+    engine: str = "dist1d",
 ) -> BenchmarkResult:
     """Run the complete Graph500 SSSP benchmark at the given scale.
 
     ``num_roots`` defaults to the official 64 but experiments routinely use
     fewer for sweeps; validation can be disabled for timing-only runs.
+
+    ``faults`` injects a deterministic fault schedule into every root's
+    fabric (answers are unchanged; TEPS degrade by the modeled retry cost);
+    ``engine`` selects the distributed engine (``dist1d``/``dist2d``).
 
     ``tracer`` (optional) receives the full telemetry of the protocol —
     generation/construction spans (wall-clock kernels), one ``root`` span
@@ -190,7 +205,15 @@ def run_graph500_sssp(
             graph = build_csr(edges)
     roots = sample_roots(graph, num_roots, seed=seed)
     runs = run_sssp_on_graph(
-        graph, roots, num_ranks, machine, config, validate, tracer=tracer
+        graph,
+        roots,
+        num_ranks,
+        machine,
+        config,
+        validate,
+        tracer=tracer,
+        faults=faults,
+        engine=engine,
     )
     if tracer.enabled:
         registry = MetricsRegistry()

@@ -42,6 +42,8 @@ class RunReport:
         self.num_steps = 0
         self.allreduces = 0
         self.num_records = 0
+        self.retransmitted_bytes = 0
+        self.fault_events = 0
 
     # -- construction ------------------------------------------------------
 
@@ -86,12 +88,15 @@ class RunReport:
                     report.allreduces += 1
                 elif name == "exchange":
                     report.steps.append(cls._step_row(r, ancestry))
+                elif name == "fault":
+                    report.fault_events += 1
         report.span_summary = sorted(
             summary.values(), key=lambda a: -a["wall_s"]
         )
         report.steps.sort(key=lambda row: (row["root"], row["step"]))
         report.total_bytes = sum(row["bytes"] for row in report.steps)
         report.total_messages = sum(row["messages"] for row in report.steps)
+        report.retransmitted_bytes = sum(row["retry_bytes"] for row in report.steps)
         report.num_steps = len(report.steps)
         return report
 
@@ -104,6 +109,7 @@ class RunReport:
             "kind": tags.get("kind", "alltoallv"),
             "bytes": int(tags.get("bytes", 0)),
             "messages": int(tags.get("messages", 0)),
+            "retry_bytes": int(tags.get("retry_bytes", 0)),
             "t_sim": record.get("t_sim"),
         }
         for t in _STEP_TAGS:
@@ -132,6 +138,8 @@ class RunReport:
             "total_messages": self.total_messages,
             "supersteps": self.num_steps,
             "allreduces": self.allreduces,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "fault_events": self.fault_events,
             "roots": len({row["root"] for row in self.steps}) if self.steps else 0,
         }
 
@@ -161,11 +169,17 @@ class RunReport:
 
         parts: list[str] = []
         t = self.totals()
-        parts.append(
+        header = (
             f"records: {self.num_records}  supersteps: {t['supersteps']}  "
             f"bytes: {t['total_bytes']}  messages: {t['total_messages']}  "
             f"allreduces: {t['allreduces']}  roots: {t['roots']}"
         )
+        if self.retransmitted_bytes or self.fault_events:
+            header += (
+                f"  retransmitted: {t['retransmitted_bytes']}  "
+                f"fault events: {t['fault_events']}"
+            )
+        parts.append(header)
         if self.meta:
             parts.append(
                 "meta: " + ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
@@ -185,8 +199,10 @@ class RunReport:
         if self.steps:
             peak = max(row["bytes"] for row in self.steps) or 1
             shown = self.steps[:max_rows]
-            rows = [
-                {
+            with_faults = self.retransmitted_bytes > 0
+            rows = []
+            for row in shown:
+                out = {
                     "root": row["root"],
                     "step": row["step"],
                     "phase": row["phase"] or "-",
@@ -195,10 +211,11 @@ class RunReport:
                     "msgs": row["messages"],
                     "edges": row["edges"] if row["edges"] is not None else "-",
                     "frontier": row["frontier"] if row["frontier"] is not None else "-",
-                    "bar": "#" * int(30 * row["bytes"] / peak),
                 }
-                for row in shown
-            ]
+                if with_faults:
+                    out["retry_B"] = row["retry_bytes"]
+                out["bar"] = "#" * int(30 * row["bytes"] / peak)
+                rows.append(out)
             title = "\nper-superstep timeline"
             if len(self.steps) > max_rows:
                 title += f" (first {max_rows} of {len(self.steps)} steps)"

@@ -21,6 +21,12 @@ What is measured vs. modeled:
 
 from repro.simmpi.clock import SimClock
 from repro.simmpi.fabric import Fabric, Message
+from repro.simmpi.faults import (
+    FaultPlan,
+    FaultSpec,
+    UndeliverableMessageError,
+    parse_faults,
+)
 from repro.simmpi.machine import (
     MachineSpec,
     laptop_machine,
@@ -33,11 +39,15 @@ from repro.simmpi.trace import CommTrace
 __all__ = [
     "CommTrace",
     "Fabric",
+    "FaultPlan",
+    "FaultSpec",
     "MachineSpec",
     "Message",
     "SimClock",
     "Topology",
+    "UndeliverableMessageError",
     "laptop_machine",
+    "parse_faults",
     "small_cluster",
     "sunway_exascale",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.clock import SimClock
+from repro.simmpi.faults import FaultPlan, FaultSpec, UndeliverableMessageError
 from repro.simmpi.machine import MachineSpec
 from repro.simmpi.topology import Topology
 from repro.simmpi.trace import CommTrace
@@ -76,6 +77,18 @@ class Fabric:
     scatter), the aggregation a 10^5-rank machine needs to avoid per-step
     O(P) message fan-out.  Payload *delivery* is unchanged — only the
     modeled time and the forwarded-bytes accounting differ.
+
+    ``faults`` (a :class:`~repro.simmpi.faults.FaultPlan`, a
+    :class:`~repro.simmpi.faults.FaultSpec`, a CLI spec string, or ``None``)
+    subjects every communication phase to the deterministic fault schedule:
+    dropped messages are retransmitted under an ack/retry protocol with
+    timeout and exponential backoff, delayed messages and stalled ranks
+    charge extra simulated time, and degraded links move bytes at reduced
+    bandwidth.  Delivery is still guaranteed (or
+    :class:`UndeliverableMessageError` after ``max_retries``), so the
+    engines' answers are bit-identical with faults on or off; only the
+    modeled time, the ``faults`` clock component and the retransmission
+    accounting change.  ``faults=None`` costs one attribute check.
     """
 
     def __init__(
@@ -84,6 +97,7 @@ class Fabric:
         num_ranks: int,
         hierarchical: bool = False,
         tracer: Tracer | None = None,
+        faults: FaultPlan | FaultSpec | str | None = None,
     ) -> None:
         self.machine = machine
         self.topology = Topology(machine, num_ranks)
@@ -99,6 +113,19 @@ class Fabric:
         self._tiers = self.topology.tier_matrix()
         # Per-rank accumulated work units by component, for load-balance reports.
         self.work_per_rank: dict[str, np.ndarray] = {}
+        # Fault injection: None (the free path) or a deterministic plan.
+        self.faults = FaultPlan.coerce(faults, num_ranks)
+        if self.faults is not None:
+            spec = self.faults.spec
+            self._fault_timeout = (
+                spec.timeout
+                if spec.timeout is not None
+                else 4.0 * max(machine.alpha_inter, machine.alpha_intra)
+            )
+            if self.faults.link_beta_factor is not None:
+                self._beta_faulty = self._beta * self.faults.link_beta_factor
+            else:
+                self._beta_faulty = self._beta
 
     # -- data movement ----------------------------------------------------
 
@@ -131,12 +158,21 @@ class Fabric:
             step = 0.0
         elif self.hierarchical:
             step = self._hierarchical_step_cost(bytes_matrix)
+        elif self.faults is not None:
+            step = self._direct_step_cost(bytes_matrix, beta=self._beta_faulty)
         else:
             step = self._direct_step_cost(bytes_matrix)
         self.clock.charge("comm", step)
         self.clock.charge("sync", self.topology.barrier_cost())
         self.trace.record_exchange(bytes_matrix, self._tiers, msg_count)
         self.trace.barriers += 1
+        fault_tags: dict[str, int] = {}
+        if self.faults is not None:
+            fault_tags = self._inject_faults(
+                self.trace.supersteps - 1,
+                bytes_matrix,
+                retry_cost=lambda m: self._direct_step_cost(m, beta=self._beta_faulty),
+            )
         if self.tracer.enabled:
             # One telemetry row per CommTrace superstep, byte-exact: the
             # timeline report's totals must equal CommTrace.total_bytes.
@@ -147,17 +183,104 @@ class Fabric:
                 step=self.trace.supersteps - 1,
                 bytes=int(bytes_matrix.sum()),
                 messages=msg_count,
+                **fault_tags,
             )
         return [Message.concat(msgs) for msgs in inbound]
 
-    def _direct_step_cost(self, bytes_matrix: np.ndarray) -> float:
+    def _direct_step_cost(
+        self, bytes_matrix: np.ndarray, beta: np.ndarray | None = None
+    ) -> float:
         """Each message costs alpha + bytes*beta on both sides; a rank's
-        step cost is the max of its send and receive pipelines."""
+        step cost is the max of its send and receive pipelines.  ``beta``
+        overrides the healthy inverse-bandwidth matrix (degraded links)."""
+        if beta is None:
+            beta = self._beta
         has_msg = bytes_matrix > 0
-        per_pair = np.where(has_msg, self._alpha + bytes_matrix * self._beta, 0.0)
+        per_pair = np.where(has_msg, self._alpha + bytes_matrix * beta, 0.0)
         send_time = per_pair.sum(axis=1)
         recv_time = per_pair.sum(axis=0)
         return float(np.maximum(send_time, recv_time).max())
+
+    # -- fault injection ----------------------------------------------------
+
+    def _inject_faults(self, step: int, bytes_matrix: np.ndarray, retry_cost) -> dict:
+        """Apply the fault schedule to the superstep recorded last.
+
+        Models the ack/retry protocol: delayed messages and stalled ranks
+        extend the phase (charged to the ``faults`` clock component);
+        dropped messages wait out an ack timeout with exponential backoff
+        and are retransmitted (wire time charged to ``comm`` via
+        ``retry_cost``, bytes recorded as retransmissions).  Returns tags
+        for the superstep's telemetry event.
+        """
+        plan = self.faults
+        spec = plan.spec
+        src, dst = np.nonzero(bytes_matrix)
+        fault_wait = 0.0
+        # Delay/jitter: the phase completes when the slowest delayed
+        # message lands.
+        if src.size and (spec.delay > 0.0 or spec.jitter > 0.0):
+            fault_wait += float(plan.delay_of(step, src, dst).max())
+        # Transient rank stalls: BSP semantics, the slowest rank bounds the
+        # step, so the worst stall is the global cost.
+        stall = plan.stall_times(step)
+        num_stalled = int(np.count_nonzero(stall))
+        if num_stalled:
+            worst_stall = float(stall.max())
+            fault_wait += worst_stall
+            self.trace.stalls += num_stalled
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "fault",
+                    cat="fabric",
+                    kind="stall",
+                    step=step,
+                    ranks=num_stalled,
+                    seconds=worst_stall,
+                )
+        # Drops -> ack/retry rounds with timeout + exponential backoff.
+        retry_bytes = 0
+        drop_events = 0
+        rounds = 0
+        if src.size and spec.drop > 0.0:
+            dropped = plan.drop_mask(step, src, dst, 0)
+            attempt = 0
+            while dropped.any():
+                attempt += 1
+                if attempt > spec.max_retries:
+                    pairs = list(zip(src.tolist(), dst.tolist()))[:4]
+                    raise UndeliverableMessageError(
+                        f"messages on links {pairs} still dropped after "
+                        f"{spec.max_retries} retries (drop={spec.drop}, "
+                        f"seed={spec.seed}, superstep={step})"
+                    )
+                src, dst = src[dropped], dst[dropped]
+                drop_events += int(src.size)
+                rounds += 1
+                retry_matrix = np.zeros_like(bytes_matrix)
+                retry_matrix[src, dst] = bytes_matrix[src, dst]
+                round_bytes = int(retry_matrix.sum())
+                retry_bytes += round_bytes
+                # Senders detect the loss after the (backed-off) ack
+                # timeout, then resend over the wire.
+                fault_wait += self._fault_timeout * spec.backoff ** (attempt - 1)
+                self.clock.charge("comm", retry_cost(retry_matrix))
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "fault",
+                        cat="fabric",
+                        kind="retry",
+                        step=step,
+                        attempt=attempt,
+                        messages=int(src.size),
+                        bytes=round_bytes,
+                    )
+                dropped = plan.drop_mask(step, src, dst, attempt)
+        if fault_wait > 0.0:
+            self.clock.charge("faults", fault_wait)
+        if drop_events:
+            self.trace.record_retransmissions(retry_bytes, drop_events, rounds)
+        return {"retry_bytes": retry_bytes, "drops": drop_events, "retries": rounds}
 
     def _hierarchical_step_cost(self, bytes_matrix: np.ndarray) -> float:
         """Three-stage leader routing for inter-supernode traffic.
@@ -279,6 +402,15 @@ class Fabric:
                     bytes_matrix[src, :] = m.nbytes
                     bytes_matrix[src, src] = 0
             self.trace.record_exchange(bytes_matrix, self._tiers, len(nonempty))
+            fault_tags: dict[str, int] = {}
+            if self.faults is not None:
+                # A lost round of the recursive-doubling tree re-moves the
+                # accumulated payload after the backed-off timeout.
+                fault_tags = self._inject_faults(
+                    self.trace.supersteps - 1,
+                    bytes_matrix,
+                    retry_cost=lambda m: depth * worst_alpha + float(m.sum()) * worst_beta,
+                )
             if self.tracer.enabled:
                 self.tracer.event(
                     "exchange",
@@ -287,6 +419,7 @@ class Fabric:
                     step=self.trace.supersteps - 1,
                     bytes=int(bytes_matrix.sum()),
                     messages=len(nonempty),
+                    **fault_tags,
                 )
         self.clock.charge("sync", self.topology.barrier_cost())
         self.trace.barriers += 1

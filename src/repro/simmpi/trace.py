@@ -30,6 +30,13 @@ class CommTrace:
     supersteps: int = 0
     barriers: int = 0
     allreduces: int = 0
+    # Resilience accounting (all zero on a fault-free fabric): bytes resent
+    # after a drop, messages dropped at least once, retry rounds taken, and
+    # rank-stall events absorbed into simulated time.
+    bytes_retransmitted: int = 0
+    messages_dropped: int = 0
+    retries: int = 0
+    stalls: int = 0
     # Per-rank totals for load-balance analysis; ``None`` until
     # ``__post_init__`` sizes them to ``num_ranks``.
     bytes_sent_per_rank: np.ndarray | None = None
@@ -37,6 +44,9 @@ class CommTrace:
     # Per-superstep totals: the traffic wavefront over the run's lifetime.
     step_bytes: list = field(default_factory=list)
     step_messages: list = field(default_factory=list)
+    # Per-superstep retransmitted bytes, aligned with ``step_bytes`` (always
+    # appended, zero on fault-free steps, so the columns line up).
+    step_retry_bytes: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.bytes_sent_per_rank is None:
@@ -65,6 +75,18 @@ class CommTrace:
         self.bytes_recv_per_rank += bytes_matrix.sum(axis=0).astype(np.int64)
         self.step_bytes.append(int(bytes_matrix.sum()))
         self.step_messages.append(int(message_count))
+        self.step_retry_bytes.append(0)
+
+    def record_retransmissions(
+        self, retry_bytes: int, dropped: int, rounds: int
+    ) -> None:
+        """Account the retry traffic of the superstep recorded last."""
+        if not self.step_retry_bytes:
+            raise ValueError("no superstep recorded yet")
+        self.bytes_retransmitted += int(retry_bytes)
+        self.messages_dropped += int(dropped)
+        self.retries += int(rounds)
+        self.step_retry_bytes[-1] += int(retry_bytes)
 
     def comm_imbalance(self) -> float:
         """Max/mean of per-rank sent bytes (1.0 = perfectly balanced)."""
@@ -84,5 +106,9 @@ class CommTrace:
             "supersteps": int(self.supersteps),
             "barriers": int(self.barriers),
             "allreduces": int(self.allreduces),
+            "bytes_retransmitted": int(self.bytes_retransmitted),
+            "messages_dropped": int(self.messages_dropped),
+            "retries": int(self.retries),
+            "stalls": int(self.stalls),
             "comm_imbalance": round(self.comm_imbalance(), 3),
         }
