@@ -1,0 +1,122 @@
+"""P1 — host wall-clock and per-rank memory of the simulated engines.
+
+Unlike the T/E/F benchmarks (which report *modeled* time), this one
+measures the simulation itself: how fast the engines execute on the host
+and how much resident state each simulated rank holds.  It quantifies
+the owned-local state refactor — per-rank arrays sized by owned vertices
+instead of the full vertex set, the compact ghost cache, and the
+sort-based scatter-min — whose acceptance target is >=2x end-to-end
+speedup and >=4x lower per-rank resident bytes at scale 16 / 32 ranks
+with bit-identical answers and modeled costs (pinned separately by
+``tests/integration/test_owned_local_equivalence.py``).
+
+Usage:
+
+    # Full protocol (the committed headline numbers):
+    python benchmarks/bench_p1_wallclock.py --scale 16 --ranks 32 \
+        --out benchmarks/results/BENCH_P1.json
+
+    # CI perf-smoke: small scale, gate on the committed baseline:
+    python benchmarks/bench_p1_wallclock.py --scale 12 --ranks 8 \
+        --out BENCH_P1.json --check benchmarks/results/BENCH_P1_smoke.json
+
+``--check`` exits non-zero if any engine's wall-clock regresses more
+than ``--max-regression`` (default 30%) past the baseline document.
+``--before`` merges a prior measurement into the output as the
+``before`` section, so the committed result carries its own comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.perfbench import (
+    DEFAULT_ENGINES,
+    check_regression,
+    dump_json,
+    load_json,
+    run_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--ranks", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--engines", nargs="+", default=list(DEFAULT_ENGINES), choices=DEFAULT_ENGINES
+    )
+    parser.add_argument("--out", default=None, help="write the JSON document here")
+    parser.add_argument(
+        "--before",
+        default=None,
+        help="JSON of a prior measurement to embed as the 'before' section",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (CI perf-smoke mode)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    doc = run_bench(
+        args.scale,
+        args.ranks,
+        engines=tuple(args.engines),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.before:
+        before = load_json(args.before)
+        doc["before"] = before
+        speedups = {}
+        for engine, cur in doc["engines"].items():
+            base = before.get("engines", before).get(engine)
+            if base and "wall_seconds" in base:
+                speedups[engine] = {
+                    "wall_speedup": base["wall_seconds"] / cur["wall_seconds"],
+                }
+                if "tracemalloc_peak_bytes" in base:
+                    speedups[engine]["peak_memory_ratio"] = (
+                        base["tracemalloc_peak_bytes"] / cur["tracemalloc_peak_bytes"]
+                    )
+                if "rank_state" in base and "rank_state" in cur:
+                    speedups[engine]["rank_resident_ratio"] = (
+                        base["rank_state"]["max_bytes"] / cur["rank_state"]["max_bytes"]
+                    )
+                    if "max_state_bytes" in base["rank_state"]:
+                        # Algorithm state only — the partitioned input
+                        # edges are excluded from both sides.
+                        speedups[engine]["rank_state_ratio"] = (
+                            base["rank_state"]["max_state_bytes"]
+                            / cur["rank_state"]["max_state_bytes"]
+                        )
+        doc["speedup_vs_before"] = speedups
+
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"perf-smoke OK (within {args.max_regression:.0%} of {args.check})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

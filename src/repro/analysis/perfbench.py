@@ -1,0 +1,147 @@
+"""P1 wall-clock / resident-memory benchmark of the simulated engines.
+
+Most benchmarks in this repository report *modeled* (simulated) time —
+the quantity the cost model charges.  This one measures the opposite
+axis: how long the simulation itself takes on the host, and how much
+memory the per-rank state occupies.  It exists to quantify the
+owned-local state refactor (P1): per-rank arrays sized by owned vertices
+instead of the full vertex set, a compact ghost cache instead of a dense
+coalescing filter, and the sort-based scatter-min hot path.
+
+The protocol is fixed so results are comparable across commits:
+
+* build the scale-``s`` Kronecker graph once (untimed),
+* run each engine once untimed (warm-up: numpy caches, permutation
+  memoization), then time ``repeats`` runs with ``time.perf_counter``
+  and take the minimum,
+* record ``tracemalloc`` peak for a separate traced run (tracing slows
+  execution, so it never contaminates the timed runs), and the engines'
+  own ``rank_state`` accounting (resident per-rank bytes).
+
+``check_regression`` implements the CI gate: compare a fresh measurement
+against a committed baseline and fail on a wall-clock regression beyond
+the tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from typing import Any
+
+import numpy as np
+
+from repro import api
+from repro.graph.csr import CSRGraph, build_csr
+from repro.graph.kronecker import generate_kronecker
+
+__all__ = ["bench_engine", "run_bench", "check_regression", "DEFAULT_ENGINES"]
+
+DEFAULT_ENGINES = ("dist1d", "dist2d", "bfs")
+
+
+def _run_once(graph: CSRGraph, source: int, engine: str, num_ranks: int):
+    return api.run(graph, source, engine=engine, num_ranks=num_ranks)
+
+
+def bench_engine(
+    graph: CSRGraph,
+    source: int,
+    engine: str,
+    num_ranks: int,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Measure one engine: wall seconds, memory peaks, modeled outputs."""
+    _run_once(graph, source, engine, num_ranks)  # warm-up, untimed
+    wall = []
+    run = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        run = _run_once(graph, source, engine, num_ranks)
+        wall.append(time.perf_counter() - t0)
+    tracemalloc.start()
+    _run_once(graph, source, engine, num_ranks)
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    out: dict[str, Any] = {
+        "wall_seconds": min(wall),
+        "wall_seconds_all": wall,
+        "tracemalloc_peak_bytes": int(traced_peak),
+        "modeled_time": float(run.modeled_time),
+        "total_bytes": int(run.comm.get("total_bytes", 0)),
+        "counters": {
+            k: int(v) for k, v in sorted(run.result.counters.as_dict().items())
+        },
+    }
+    rank_state = run.meta.get("rank_state")
+    if rank_state is not None:
+        out["rank_state"] = {k: int(v) for k, v in rank_state.items()}
+    return out
+
+
+def run_bench(
+    scale: int,
+    num_ranks: int,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    repeats: int = 1,
+    seed: int = 2022,
+) -> dict[str, Any]:
+    """Run the P1 benchmark protocol; returns a JSON-ready document."""
+    graph = build_csr(generate_kronecker(scale, seed=seed))
+    source = int(np.argmax(graph.out_degree))
+    doc: dict[str, Any] = {
+        "benchmark": "P1_wallclock",
+        "scale": scale,
+        "num_ranks": num_ranks,
+        "seed": seed,
+        "source": source,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "repeats": repeats,
+        "engines": {},
+    }
+    for engine in engines:
+        doc["engines"][engine] = bench_engine(
+            graph, source, engine, num_ranks, repeats=repeats
+        )
+    return doc
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.30,
+) -> list[str]:
+    """Compare a fresh run against a committed baseline document.
+
+    Returns a list of failure strings (empty when the gate passes).  Only
+    wall-clock is gated — modeled time and byte totals are pinned exactly
+    by the equivalence-fixture tests, so a tolerance here would be
+    redundant (and weaker).
+    """
+    failures: list[str] = []
+    for engine, base in baseline.get("engines", {}).items():
+        cur = current.get("engines", {}).get(engine)
+        if cur is None:
+            failures.append(f"{engine}: missing from current run")
+            continue
+        allowed = base["wall_seconds"] * (1.0 + max_regression)
+        if cur["wall_seconds"] > allowed:
+            failures.append(
+                f"{engine}: wall {cur['wall_seconds']:.3f}s exceeds baseline "
+                f"{base['wall_seconds']:.3f}s by more than "
+                f"{max_regression:.0%} (allowed {allowed:.3f}s)"
+            )
+    return failures
+
+
+def load_json(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def dump_json(doc: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

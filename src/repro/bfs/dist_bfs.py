@@ -82,7 +82,15 @@ class DistBFSRun:
 
 
 class _BFSRank:
-    """Per-rank state of the level-synchronous engine."""
+    """Per-rank state of the level-synchronous engine.
+
+    State is *owned-local*: ``parent``/``level``/``frontier`` are indexed by
+    owned-local vertex id (the partition is contiguous, so local id ``i`` is
+    global ``range_lo + i``); parent *values* stay global, since a parent
+    can live on any rank and that is what goes on the wire and into the
+    assembled tree.  The bottom-up frontier bitmap remains global by
+    design — allgathering ``n/8`` bytes per rank is the algorithm.
+    """
 
     def __init__(
         self,
@@ -96,15 +104,13 @@ class _BFSRank:
         self.num_ranks = num_ranks
         self.owner = owner
         self.owned = owned
-        n = graph.num_vertices
         self.range_lo = int(owned[0]) if owned.size else 0
         self.range_hi = int(owned[-1]) + 1 if owned.size else 0
-        self.owned_mask = np.zeros(n, dtype=bool)
-        self.owned_mask[owned] = True
-        self.local_graph = graph.subgraph_rows(owned)
-        self.parent = np.full(n, _NO_PARENT, dtype=np.int64)
-        self.level = np.full(n, -1, dtype=np.int64)
-        self.frontier = np.empty(0, dtype=np.int64)
+        # Renumbered rows (local row i = global owned[i]), global columns.
+        self.local_graph = graph.extract_rows(owned)
+        self.parent = np.full(owned.size, _NO_PARENT, dtype=np.int64)
+        self.level = np.full(owned.size, -1, dtype=np.int64)
+        self.frontier = np.empty(0, dtype=np.int64)  # owned-local ids
         self.step_edges = 0
         self.step_bytes = 0
 
@@ -117,10 +123,11 @@ class _BFSRank:
         self.frontier = np.empty(0, dtype=np.int64)
         if src.size == 0:
             return {}
-        mine = self.owned_mask[dst]
-        self._claim(dst[mine], src[mine], depth)
+        src_global = src + self.range_lo  # parents are global on the wire
+        mine = (dst >= self.range_lo) & (dst < self.range_hi)
+        self._claim(dst[mine] - self.range_lo, src_global[mine], depth)
         rem_dst = dst[~mine]
-        rem_src = src[~mine]
+        rem_src = src_global[~mine]
         if rem_dst.size == 0:
             return {}
         # Coalesce: one claim per remote target (any parent is valid).
@@ -128,23 +135,30 @@ class _BFSRank:
         rem_dst, rem_src = uniq, rem_src[first]
         out: dict[int, Message] = {}
         owners = self.owner[rem_dst]
+        first_owner = int(owners[0])
+        if owners.size == 1 or not np.any(owners != first_owner):
+            msg = Message(vertex=rem_dst, parent=rem_src)
+            self.step_bytes += msg.nbytes
+            out[first_owner] = msg
+            return out
         order = np.argsort(owners, kind="stable")
         so, sd, sp = owners[order], rem_dst[order], rem_src[order]
         cuts = np.flatnonzero(np.diff(so)) + 1
-        for dst_rank, d_chunk, p_chunk in zip(
-            so[np.concatenate(([0], cuts))], np.split(sd, cuts), np.split(sp, cuts)
-        ):
-            msg = Message(vertex=d_chunk, parent=p_chunk)
+        bounds = np.concatenate(([0], cuts, [so.size]))
+        for i in range(bounds.size - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            msg = Message(vertex=sd[lo:hi], parent=sp[lo:hi])
             self.step_bytes += msg.nbytes
-            out[int(dst_rank)] = msg
+            out[int(so[lo])] = msg
         return out
 
     def apply_claims(self, msg: Message | None, depth: int) -> None:
         if msg is None:
             return
-        self._claim(msg["vertex"], msg["parent"], depth)
+        self._claim(msg["vertex"] - self.range_lo, msg["parent"], depth)
 
     def _claim(self, targets: np.ndarray, parents: np.ndarray, depth: int) -> None:
+        """Claim owned-local ``targets`` with global ``parents``."""
         unvisited = self.parent[targets] == _NO_PARENT
         t = targets[unvisited]
         p = parents[unvisited]
@@ -158,7 +172,7 @@ class _BFSRank:
 
     def bottom_up_level(self, global_frontier: np.ndarray, depth: int) -> None:
         """Scan unvisited owned rows against the global frontier bitmap."""
-        unvisited = self.owned[self.parent[self.owned] == _NO_PARENT]
+        unvisited = np.flatnonzero(self.parent == _NO_PARENT)
         found, scanned = _bottom_up_step(
             self.local_graph, unvisited, global_frontier, self.parent
         )
@@ -171,6 +185,27 @@ class _BFSRank:
         self.step_edges = 0
         self.step_bytes = 0
         return work
+
+    def state_array_lengths(self) -> dict[str, int]:
+        """Length of every resident per-vertex array this rank holds."""
+        return {
+            "parent": int(self.parent.size),
+            "level": int(self.level.size),
+            "local_indptr": int(self.local_graph.indptr.size),
+        }
+
+    def state_nbytes(self) -> int:
+        """Resident bytes of this rank's owned-local state (graph included)."""
+        return int(
+            self.parent.nbytes
+            + self.level.nbytes
+            + self.owned.nbytes
+            + self.local_graph.nbytes
+        )
+
+    def graph_payload_nbytes(self) -> int:
+        """Bytes of the rank's share of input edges (adjacency + weights)."""
+        return int(self.local_graph.adj.nbytes + self.local_graph.weight.nbytes)
 
 
 def distributed_bfs(
@@ -256,9 +291,10 @@ def _distributed_bfs(
         for r in range(num_ranks)
     ]
     src_rank = ranks[int(owner[source])]
-    src_rank.parent[source] = source
-    src_rank.level[source] = 0
-    src_rank.frontier = np.array([source], dtype=np.int64)
+    src_local = source - src_rank.range_lo
+    src_rank.parent[src_local] = source
+    src_rank.level[src_local] = 0
+    src_rank.frontier = np.array([src_local], dtype=np.int64)
 
     depth = 0
     bottom_up = direction == "bottom_up"
@@ -273,7 +309,7 @@ def _distributed_bfs(
             break
         depth += 1
         frontier_edge_counts = np.array(
-            [float(graph.out_degree[r.frontier].sum()) for r in ranks]
+            [float(r.local_graph.out_degree[r.frontier].sum()) for r in ranks]
         )
         total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
         unexplored -= total_frontier_edges
@@ -301,7 +337,7 @@ def _distributed_bfs(
                     width = r.range_hi - r.range_lo
                     bits = np.zeros(width, dtype=bool)
                     if r.frontier.size:
-                        bits[r.frontier - r.range_lo] = True
+                        bits[r.frontier] = True
                     global_bits[r.range_lo : r.range_hi] = bits
                     packed = (
                         np.packbits(bits) if width else np.empty(0, dtype=np.uint8)
@@ -325,8 +361,8 @@ def _distributed_bfs(
     parent = np.full(n, _NO_PARENT, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
     for r in ranks:
-        parent[r.owned] = r.parent[r.owned]
-        level[r.owned] = r.level[r.owned]
+        parent[r.owned] = r.parent
+        level[r.owned] = r.level
     result = BFSResult(source=source, parent=parent, level=level)
     result.counters.add("levels", depth)
     result.counters.add("levels_top_down", levels_top_down)
@@ -341,6 +377,9 @@ def _distributed_bfs(
         result.counters.add("retry_rounds", fabric.trace.retries)
         result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
         result.counters.add("rank_stalls", fabric.trace.stalls)
+    rank_bytes = [r.state_nbytes() for r in ranks]
+    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
+    rank_lengths = [r.state_array_lengths() for r in ranks]
     return DistBFSRun(
         result=result,
         num_ranks=num_ranks,
@@ -348,4 +387,12 @@ def _distributed_bfs(
         time_breakdown=fabric.clock.breakdown(),
         trace_summary=fabric.trace.summary(),
         work_imbalance=fabric.compute_imbalance("edges"),
+        meta={
+            "rank_state": {
+                "max_bytes": max(rank_bytes),
+                "total_bytes": sum(rank_bytes),
+                "max_state_bytes": max(rank_state_only),
+                "max_array_len": max(max(d.values()) for d in rank_lengths),
+            },
+        },
     )

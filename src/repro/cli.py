@@ -208,6 +208,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.perfbench import (
+        check_regression,
+        dump_json,
+        load_json,
+        run_bench,
+    )
+
+    doc = run_bench(
+        args.scale,
+        args.ranks,
+        engines=tuple(args.engines),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"bench: wrote {args.out}", file=sys.stderr)
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"bench: PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"bench: within {args.max_regression:.0%} of {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     from repro.analysis.projection import fit_projection_model
     from repro.graph500.report import render_table
@@ -297,6 +330,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_cmp)
     p_cmp.add_argument("--roots", type=int, default=2)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_bench = sub.add_parser(
+        "bench", help="host wall-clock / memory benchmark of the engines (P1)"
+    )
+    _add_common(p_bench)
+    p_bench.add_argument("--repeats", type=int, default=1)
+    p_bench.add_argument(
+        "--engines",
+        nargs="+",
+        default=["dist1d", "dist2d", "bfs"],
+        choices=("dist1d", "dist2d", "bfs"),
+    )
+    p_bench.add_argument("--out", default=None, help="write the JSON document here")
+    p_bench.add_argument(
+        "--check", default=None, help="baseline JSON to gate against (perf-smoke)"
+    )
+    p_bench.add_argument("--max-regression", type=float, default=0.30)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_proj = sub.add_parser("project", help="full-machine projection")
     p_proj.add_argument("--fit-scale", type=int, default=13, help="largest fit scale")

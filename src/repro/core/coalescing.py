@@ -34,7 +34,9 @@ def dedup_min(targets: np.ndarray, dists: np.ndarray) -> tuple[np.ndarray, np.nd
         raise ValueError("targets/dists length mismatch")
     if targets.size == 0:
         return targets, dists
-    order = np.argsort(targets, kind="stable")
+    # Introsort, not stable: ``min`` per target group is independent of
+    # within-group order, and stable (timsort) costs ~5x more on int64.
+    order = np.argsort(targets)
     st = targets[order]
     sd = dists[order]
     starts = np.empty(st.size, dtype=bool)

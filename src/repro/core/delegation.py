@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, _ranges_to_indices
 
 __all__ = ["DelegateTable", "auto_hub_threshold", "select_hubs"]
 
@@ -67,21 +67,23 @@ class DelegateTable:
             raise ValueError("hubs must be sorted and unique")
         if not (0 <= rank < num_ranks):
             raise ValueError(f"rank {rank} out of range [0, {num_ranks})")
-        adj_parts: list[np.ndarray] = []
-        w_parts: list[np.ndarray] = []
-        lengths = np.zeros(hubs.size, dtype=np.int64)
-        for slot, h in enumerate(hubs):
-            lo, hi = graph.indptr[h], graph.indptr[h + 1]
-            sl = slice(lo + rank, hi, num_ranks)
-            a = graph.adj[sl]
-            adj_parts.append(a)
-            w_parts.append(graph.weight[sl])
-            lengths[slot] = a.size
+        # This rank's interleaved positions of hub ``h``'s row are
+        # ``indptr[h] + rank, indptr[h] + rank + P, ...`` — materialized for
+        # all hubs at once with the repeat/cumsum trick (no Python loop).
+        starts = graph.indptr[hubs] + rank
+        stops = graph.indptr[hubs + 1]
+        lengths = np.maximum(0, -(-(stops - starts) // num_ranks))
         indptr = np.zeros(hubs.size + 1, dtype=np.int64)
         np.cumsum(lengths, out=indptr[1:])
-        adj = np.concatenate(adj_parts) if adj_parts else np.empty(0, dtype=np.int64)
-        weight = np.concatenate(w_parts) if w_parts else np.empty(0, dtype=np.float64)
-        return cls(hubs=hubs, indptr=indptr, adj=adj, weight=weight)
+        total = int(indptr[-1])
+        intra = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], lengths)
+        idx = np.repeat(starts, lengths) + num_ranks * intra
+        return cls(
+            hubs=hubs,
+            indptr=indptr,
+            adj=graph.adj[idx],
+            weight=graph.weight[idx],
+        )
 
     @property
     def num_hubs(self) -> int:
@@ -128,10 +130,7 @@ class DelegateTable:
             empty = np.empty(0, dtype=np.int64)
             return empty, np.empty(0, dtype=np.float64), 0
         src_dist = np.repeat(np.asarray(hub_dists, dtype=np.float64), deg)
-        idx_parts = []
-        for slot in range(slots.size):
-            idx_parts.append(np.arange(self.indptr[slots[slot]], self.indptr[slots[slot] + 1]))
-        idx = np.concatenate(idx_parts)
+        idx = _ranges_to_indices(self.indptr[slots], self.indptr[slots + 1])
         targets = self.adj[idx]
         w = self.weight[idx]
         keep = np.ones(total, dtype=bool)

@@ -36,12 +36,14 @@ from repro.core.buckets import BucketQueue
 from repro.core.coalescing import dedup_min, pack_updates, unpack_updates
 from repro.core.config import SSSPConfig
 from repro.core.delegation import DelegateTable, auto_hub_threshold, select_hubs
+from repro.core.ghost_cache import GhostMinCache
 from repro.core.relaxation import expand, scatter_min
 from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import (
+    LocalIndexMap,
     Partition1D,
     block1d,
     block1d_edge_balanced,
@@ -71,7 +73,15 @@ def _make_partition(graph: CSRGraph, kind: str, num_ranks: int) -> Partition1D:
 
 
 class _Rank:
-    """State and per-superstep behaviour of one simulated rank."""
+    """State and per-superstep behaviour of one simulated rank.
+
+    All per-vertex state lives in *owned-local* index space: arrays are
+    sized by the rank's owned-vertex count, not by the global vertex
+    count, so a P-rank run costs O(n + halo) memory in total instead of
+    O(n * P).  Global ids appear only on the wire and in the shared
+    read-only ``owner`` array; :class:`LocalIndexMap` translates at the
+    boundary.
+    """
 
     def __init__(
         self,
@@ -90,21 +100,39 @@ class _Rank:
         self.delta = delta
         self.owner = owner  # shared dense owner array (read-only use)
         self.owned = owned
-        n = graph.num_vertices
-        self.owned_mask = np.zeros(n, dtype=bool)
-        self.owned_mask[owned] = True
+        self.lmap = LocalIndexMap(owned)
+        # On contiguous partitions "is it mine" is a range test — cheaper
+        # than gathering from the dense owner array on every route call.
+        self._own_contig = (
+            owned.size > 0 and int(owned[-1]) - int(owned[0]) + 1 == owned.size
+        )
+        self._own_lo = int(owned[0]) if owned.size else 0
+        self._own_hi = int(owned[-1]) + 1 if owned.size else 0
         self.delegates = delegates
         if delegates is not None and delegates.num_hubs:
-            local_rows = owned[~delegates.is_hub(owned)]
+            # Owned-local hub lookup plus a local CSR whose hub rows are
+            # empty (their adjacency lives in the delegate slices).
+            self.is_hub_local: np.ndarray | None = delegates.is_hub(owned)
+            self.local_graph = graph.extract_rows(owned, keep=~self.is_hub_local)
         else:
-            local_rows = owned
-        self.local_graph = graph.subgraph_rows(local_rows)
-        # dist doubles as the coalescing filter cache for remote vertices:
-        # owned entries are authoritative, remote entries record the best
-        # candidate this rank has ever sent toward the owner.
-        self.dist = np.full(n, _INF, dtype=np.float64)
+            self.is_hub_local = None
+            self.local_graph = graph.extract_rows(owned)
+        # Authoritative tentative distances over owned vertices only.
+        self.dist = np.full(owned.size, _INF, dtype=np.float64)
+        # The coalescing filter cache for remote ("ghost") vertices —
+        # best candidate ever sent toward each owner — lives in a compact
+        # sorted-key map sized by the halo actually touched, not by n,
+        # with 32-bit keys whenever the vertex ids fit.
+        ghost_key_dtype = (
+            np.uint32 if graph.num_vertices <= np.iinfo(np.uint32).max else np.int64
+        )
+        self.ghosts = (
+            GhostMinCache(key_dtype=ghost_key_dtype)
+            if (config.coalesce and num_ranks > 1)
+            else None
+        )
         self.buckets = BucketQueue(self.dist, delta)
-        self.in_epoch = np.zeros(n, dtype=bool)
+        self.in_epoch = np.zeros(owned.size, dtype=bool)
         self.settled_parts: list[np.ndarray] = []
         # Best distance already announced per hub slot (owner-side filter).
         if delegates is not None and delegates.num_hubs:
@@ -140,9 +168,21 @@ class _Rank:
         """Apply owned candidates locally; enqueue remote ones for owners."""
         if targets.size == 0:
             return
-        mine = self.owned_mask[targets]
+        if self.num_ranks == 1:
+            # Single-rank fast path: everything is owned — no owner
+            # gather, no remote split, no outbox.
+            improved = scatter_min(self.dist, self.lmap.to_local(targets), cands)
+            if improved.size:
+                self.buckets.insert(improved)
+            return
+        if self._own_contig:
+            mine = (targets >= self._own_lo) & (targets < self._own_hi)
+        else:
+            mine = self.owner[targets] == self.rank
         if mine.any():
-            improved = scatter_min(self.dist, targets[mine], cands[mine])
+            improved = scatter_min(
+                self.dist, self.lmap.to_local(targets[mine]), cands[mine]
+            )
             if improved.size:
                 self.buckets.insert(improved)
         rem_t = targets[~mine]
@@ -151,30 +191,35 @@ class _Rank:
             return
         if self.config.coalesce:
             # Filter through the cached view: only candidates that beat the
-            # best value this rank ever sent can matter to the owner.
-            better = rem_c < self.dist[rem_t]
-            rem_t, rem_c = rem_t[better], rem_c[better]
+            # best value this rank ever sent can matter to the owner.  The
+            # batch comes back deduplicated, which also shrinks the owner
+            # split below and the flush-time re-dedup.
+            rem_t, rem_c = self.ghosts.coalesce_batch(rem_t, rem_c)
             if rem_t.size == 0:
                 return
-            np.minimum.at(self.dist, rem_t, rem_c)
         owners = self.owner[rem_t]
+        first = int(owners[0])
+        if owners.size == 1 or not np.any(owners != first):
+            # All candidates share one owner (common on contiguous
+            # partitions): skip the argsort/split entirely.
+            self._out[first].append((rem_t, rem_c, _KIND_UPDATE))
+            return
         order = np.argsort(owners, kind="stable")
         so = owners[order]
         st = rem_t[order]
         sc = rem_c[order]
         cuts = np.flatnonzero(np.diff(so)) + 1
-        for dst, t_chunk, c_chunk in zip(
-            so[np.concatenate(([0], cuts))],
-            np.split(st, cuts),
-            np.split(sc, cuts),
-        ):
-            self._out[int(dst)].append((t_chunk, c_chunk, _KIND_UPDATE))
+        bounds = np.concatenate(([0], cuts, [so.size]))
+        for i in range(bounds.size - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            self._out[int(so[lo])].append((st[lo:hi], sc[lo:hi], _KIND_UPDATE))
 
-    def _announce(self, hubs_in_frontier: np.ndarray, kind: int) -> None:
+    def _announce(self, hubs_local: np.ndarray, kind: int) -> None:
         """Broadcast (hub, dist) records; expand the local slice directly."""
         assert self.delegates is not None
+        hubs_in_frontier = self.lmap.to_global(hubs_local)
         slots = self.delegates.slots_of(hubs_in_frontier)
-        d = self.dist[hubs_in_frontier]
+        d = self.dist[hubs_local]
         fresh = d < self.announced[slots]
         if kind == _KIND_HEAVY_ANNOUNCE:
             # Heavy relaxation happens once per epoch with the final value;
@@ -209,9 +254,17 @@ class _Rank:
         if msg is None:
             return
         targets, dists, kinds = unpack_updates(msg)
+        if not kinds.any():
+            # Pure-update message (the reduce phase): skip the kind split.
+            improved = scatter_min(self.dist, self.lmap.to_local(targets), dists)
+            if improved.size:
+                self.buckets.insert(improved)
+            return
         upd = kinds == _KIND_UPDATE
         if upd.any():
-            t = targets[upd]
+            # Plain updates are routed to the owner, so every target here
+            # is owned by this rank.
+            t = self.lmap.to_local(targets[upd])
             improved = scatter_min(self.dist, t, dists[upd])
             if improved.size:
                 self.buckets.insert(improved)
@@ -235,8 +288,8 @@ class _Rank:
             if fresh.size:
                 self.in_epoch[fresh] = True
                 self.settled_parts.append(fresh)
-            if self.delegates is not None and self.delegates.num_hubs:
-                hub_mask = self.delegates.is_hub(frontier)
+            if self.is_hub_local is not None:
+                hub_mask = self.is_hub_local[frontier]
                 normal = frontier[~hub_mask]
                 hubs = frontier[hub_mask]
             else:
@@ -255,8 +308,8 @@ class _Rank:
         if not self.settled_parts:
             return
         settled = np.concatenate(self.settled_parts)
-        if self.delegates is not None and self.delegates.num_hubs:
-            hub_mask = self.delegates.is_hub(settled)
+        if self.is_hub_local is not None:
+            hub_mask = self.is_hub_local[settled]
             normal = settled[~hub_mask]
             hubs = settled[hub_mask]
         else:
@@ -287,17 +340,34 @@ class _Rank:
             take = [p for p in parts if (p[2] != _KIND_UPDATE) == announcements]
             if not take:
                 continue
-            self._out[dst] = [p for p in parts if (p[2] != _KIND_UPDATE) != announcements]
-            targets = np.concatenate([p[0] for p in take])
-            dists = np.concatenate([p[1] for p in take])
-            kinds = np.concatenate(
-                [np.full(p[0].size, p[2], dtype=np.uint8) for p in take]
-            )
+            if len(take) == len(parts):
+                # Everything queued is the flushed class (the common case).
+                self._out[dst] = []
+            else:
+                self._out[dst] = [
+                    p for p in parts if (p[2] != _KIND_UPDATE) != announcements
+                ]
+            if len(take) == 1:
+                # Single batch (the common case for broadcast rounds):
+                # no concatenation copies needed.
+                targets, dists = take[0][0], take[0][1]
+            else:
+                targets = np.concatenate([p[0] for p in take])
+                dists = np.concatenate([p[1] for p in take])
             if self.config.coalesce and not announcements:
                 # Dedup plain updates per target (announcements are already
-                # unique per hub by the announce filter).
-                targets, dists = dedup_min(targets, dists)
+                # unique per hub by the announce filter).  A lone part is
+                # already sorted-unique — it came out of the ghost cache's
+                # coalesce_batch — so dedup would be the identity.
+                if len(take) > 1:
+                    targets, dists = dedup_min(targets, dists)
                 kinds = np.zeros(targets.size, dtype=np.uint8)
+            elif len(take) == 1:
+                kinds = np.full(targets.size, take[0][2], dtype=np.uint8)
+            else:
+                kinds = np.concatenate(
+                    [np.full(p[0].size, p[2], dtype=np.uint8) for p in take]
+                )
             msg = pack_updates(
                 targets, dists, kinds, self.config.compressed_indices, num_vertices
             )
@@ -306,13 +376,67 @@ class _Rank:
         return out
 
     def take_step_work(self) -> tuple[int, int, int]:
-        """Return and reset (edges, bucket_ops, bytes) since the last call."""
-        bucket_ops = self.buckets.ops - self._bucket_ops_seen
+        """Return and reset (edges, bucket_ops, bytes) since the last call.
+
+        Guarded against double-reset: a second call without intervening
+        work returns zeros, and a rebuilt/reset bucket structure (ops
+        counter going backwards) can never yield negative charges.
+        """
+        bucket_ops = max(0, self.buckets.ops - self._bucket_ops_seen)
         self._bucket_ops_seen = self.buckets.ops
         work = (self.step_edges, bucket_ops, self.step_bytes)
         self.step_edges = 0
         self.step_bytes = 0
         return work
+
+    # -- introspection -----------------------------------------------------
+
+    def state_array_lengths(self) -> dict[str, int]:
+        """Length of every resident per-vertex array this rank holds.
+
+        Used by the owned-local regression test (no array may scale with
+        the global vertex count) and the memory benchmark.
+        """
+        return {
+            "dist": int(self.dist.size),
+            "in_epoch": int(self.in_epoch.size),
+            "local_indptr": int(self.local_graph.indptr.size),
+            "ghost_slots": int(self.ghosts.capacity) if self.ghosts is not None else 0,
+            "announced": int(self.announced.size),
+            "is_hub_local": (
+                int(self.is_hub_local.size) if self.is_hub_local is not None else 0
+            ),
+        }
+
+    def state_nbytes(self) -> int:
+        """Resident bytes of this rank's owned-local state (graph included)."""
+        total = (
+            self.dist.nbytes
+            + self.in_epoch.nbytes
+            + self.owned.nbytes
+            + self.local_graph.nbytes
+            + self.announced.nbytes
+        )
+        if self.ghosts is not None:
+            total += self.ghosts.nbytes
+        if self.is_hub_local is not None:
+            total += self.is_hub_local.nbytes
+        if self.delegates is not None:
+            d = self.delegates
+            total += d.hubs.nbytes + d.indptr.nbytes + d.adj.nbytes + d.weight.nbytes
+        return int(total)
+
+    def graph_payload_nbytes(self) -> int:
+        """Bytes of the partitioned input edges (adjacency + weights).
+
+        This is the rank's share of the graph itself — resident in any
+        layout — as opposed to the algorithm state the owned-local
+        refactor shrinks.
+        """
+        total = self.local_graph.adj.nbytes + self.local_graph.weight.nbytes
+        if self.delegates is not None:
+            total += self.delegates.adj.nbytes + self.delegates.weight.nbytes
+        return int(total)
 
 
 @dataclass
@@ -480,8 +604,9 @@ def _distributed_sssp(
     ]
 
     src_rank = ranks[int(owner[source])]
-    src_rank.dist[source] = 0.0
-    src_rank.buckets.insert(np.array([source], dtype=np.int64))
+    src_local = int(src_rank.lmap.to_local(np.int64(source)))
+    src_rank.dist[src_local] = 0.0
+    src_rank.buckets.insert(np.array([src_local], dtype=np.int64))
 
     epochs = 0
     light_supersteps = 0
@@ -581,9 +706,11 @@ def _distributed_sssp(
             heavy_rounds += 1
 
     # ---- assemble the global answer -------------------------------------
+    # Each rank's dist vector is owned-local, so the gather is one direct
+    # scatter per rank — no dense per-rank indexing.
     dist = np.full(n, _INF, dtype=np.float64)
     for r in ranks:
-        dist[r.owned] = r.dist[r.owned]
+        dist[r.owned] = r.dist
     result = SSSPResult(
         source=source,
         dist=dist,
@@ -617,6 +744,9 @@ def _distributed_sssp(
         )
         metrics.absorb_counters(result.counters)
         tracer.emit_metrics("engine", metrics.snapshot())
+    rank_bytes = [r.state_nbytes() for r in ranks]
+    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
+    rank_lengths = [r.state_array_lengths() for r in ranks]
     return DistSSSPRun(
         result=result,
         config=config,
@@ -628,5 +758,26 @@ def _distributed_sssp(
         work_imbalance=fabric.compute_imbalance("edges"),
         machine_name=machine.name,
         step_bytes=list(fabric.trace.step_bytes),
-        meta={"partition": partition.kind},
+        meta={
+            "partition": partition.kind,
+            "rank_state": {
+                "max_bytes": max(rank_bytes),
+                "total_bytes": sum(rank_bytes),
+                # Algorithm state only: excludes the rank's share of the
+                # input edges (adjacency + weights), which is resident in
+                # any layout.
+                "max_state_bytes": max(rank_state_only),
+                "max_array_len": max(
+                    max(lengths.values()) for lengths in rank_lengths
+                ),
+                # Dense arrays indexed by local vertex id — the ones the
+                # owned-local layout shrinks from O(n) to O(owned).  The
+                # ghost cache is excluded: it sizes with the vertices a
+                # rank actually relaxes remotely (the halo), not with n.
+                "max_dense_len": max(
+                    max(v for k, v in lengths.items() if k != "ghost_slots")
+                    for lengths in rank_lengths
+                ),
+            },
+        },
     )

@@ -1,0 +1,158 @@
+"""Compact ghost-vertex cache for the remote coalescing filter.
+
+The 1-D engine's send-side coalescing filter remembers, per remote
+("ghost") vertex, the best candidate distance this rank has ever sent
+toward the owner; a new candidate is transmitted only if it beats that.
+The dense implementation paid O(num_vertices) memory per rank to store
+the cache inside the tentative-distance array.  :class:`GhostMinCache`
+replaces it with a sorted key array sized by the number of *distinct
+ghosts actually touched* — on a partitioned graph that is the rank's
+halo, not the whole vertex set — with zero slack (no hash-table load
+factor), and ``uint32`` keys when the vertex ids fit.
+
+Batches arrive pre-sorted from the engine's dedup step, so lookups are
+a single vectorized ``searchsorted`` and inserts are one merge; there
+are no per-key Python loops and no probe sequences.  Operations:
+
+* :meth:`get` — current best value per key (``inf`` for absent keys);
+* :meth:`update_min` — fold ``min`` of a batch of (key, value) pairs
+  into the cache, inserting new keys;
+* :meth:`coalesce_batch` — the engine's hot path: dedup a batch, return
+  the entries that beat the cached view, and fold them in, all in one
+  pass.
+
+Everything is deterministic: the layout is the sorted key order, fully
+determined by the set of keys ever inserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GhostMinCache"]
+
+_INF = np.inf
+
+
+class GhostMinCache:
+    """Sorted-array map ``vertex id -> float64 running minimum``.
+
+    ``key_dtype`` picks the stored id width; callers pass ``uint32``
+    when ``num_vertices`` fits, halving key bytes.  Keys must be
+    non-negative vertex ids representable in that dtype.
+    """
+
+    __slots__ = ("_keys", "_vals")
+
+    def __init__(
+        self, initial_capacity: int = 0, key_dtype: np.dtype | type = np.int64
+    ) -> None:
+        # ``initial_capacity`` is accepted for interface compatibility;
+        # the sorted layout is always exact-fit, so there is nothing to
+        # preallocate.
+        del initial_capacity
+        self._keys = np.empty(0, dtype=key_dtype)
+        self._vals = np.empty(0, dtype=np.float64)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated entries — equal to ``len``: the layout is exact-fit."""
+        return int(self._keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._keys.nbytes + self._vals.nbytes)
+
+    # -- lookup ------------------------------------------------------------
+
+    def _locate(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(insertion positions, hit mask) for ``keys`` (any int dtype)."""
+        if keys.dtype != self._keys.dtype:
+            keys = keys.astype(self._keys.dtype)
+        pos = np.searchsorted(self._keys, keys)
+        hit = np.zeros(keys.shape, dtype=bool)
+        inb = pos < self._keys.size
+        hit[inb] = self._keys[pos[inb]] == keys[inb]
+        return pos, hit
+
+    def get(self, keys: np.ndarray) -> np.ndarray:
+        """Current best value per key; ``inf`` where the key is absent."""
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.full(keys.shape, _INF, dtype=np.float64)
+        if keys.size == 0 or self._keys.size == 0:
+            return out
+        pos, hit = self._locate(keys)
+        out[hit] = self._vals[pos[hit]]
+        return out
+
+    # -- writes ------------------------------------------------------------
+
+    def update_min(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Fold ``min(values)`` per key into the cache (inserting new keys)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.size == 0:
+            return
+        uniq, batch_min = _dedup_min(keys, values)
+        self._fold(uniq, batch_min)
+
+    def coalesce_batch(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dedup, filter against the cached view, and fold — one pass.
+
+        Returns ``(kept_keys, kept_vals)``: one entry per distinct key
+        whose batch minimum beats the value previously cached for it
+        (``inf`` when absent) — exactly the entries worth transmitting,
+        sorted by key.  The cache is left holding ``min(old, batch_min)``
+        per key, the same state ``get`` + filter + ``update_min`` on the
+        passing entries would leave: a batch entry failing the filter is
+        ``>=`` the stored minimum and cannot lower it.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if keys.size == 0:
+            return keys, values
+        uniq, batch_min = _dedup_min(keys, values)
+        old = self._fold(uniq, batch_min)
+        keep = batch_min < old
+        return uniq[keep], batch_min[keep]
+
+    def _fold(self, uniq: np.ndarray, batch_min: np.ndarray) -> np.ndarray:
+        """Fold sorted-unique (key, min) pairs in; return pre-fold values."""
+        if self._keys.size == 0:
+            self._keys = uniq.astype(self._keys.dtype)
+            self._vals = batch_min.copy()
+            return np.full(uniq.shape, _INF, dtype=np.float64)
+        pos, hit = self._locate(uniq)
+        old = np.full(uniq.shape, _INF, dtype=np.float64)
+        old[hit] = self._vals[pos[hit]]
+        if hit.any():
+            ph = pos[hit]
+            self._vals[ph] = np.minimum(self._vals[ph], batch_min[hit])
+        if not hit.all():
+            new = ~hit
+            # One merge: np.insert places each new key before its
+            # insertion position, preserving sorted order.
+            self._keys = np.insert(
+                self._keys, pos[new], uniq[new].astype(self._keys.dtype)
+            )
+            self._vals = np.insert(self._vals, pos[new], batch_min[new])
+        return old
+
+
+def _dedup_min(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One (key, min value) pair per key, keys sorted ascending."""
+    order = np.argsort(keys)  # min per key is order-independent: unstable ok
+    sk = keys[order]
+    sv = values[order]
+    starts = np.empty(sk.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=starts[1:])
+    idx = np.flatnonzero(starts)
+    return sk[idx], np.minimum.reduceat(sv, idx)

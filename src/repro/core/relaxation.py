@@ -6,7 +6,9 @@ All SSSP variants in this library share two primitives:
   candidate distances (``dist[u] + w``), optionally restricted to light or
   heavy edges (the ∆-stepping split);
 * :func:`scatter_min` — fold candidate distances into the tentative-distance
-  array with ``np.minimum.at`` and report which vertices improved.
+  array and report which vertices improved; small batches use the unbuffered
+  ``np.minimum.at`` scatter, large ones an argsort + ``minimum.reduceat``
+  reduction (bit-identical, several times faster).
 
 Keeping them in one place means the per-edge operation counts charged to the
 cost model are consistent across algorithms.
@@ -71,17 +73,45 @@ def expand(
     return dst, dist[src] + w, scanned
 
 
+# Below this many candidates the unbuffered ``np.minimum.at`` scatter wins;
+# above it, sorting the batch and reducing per target is several times
+# faster (``minimum.at`` dispatches element-wise and cannot vectorize).
+SORT_SCATTER_THRESHOLD = 96
+
+
 def scatter_min(dist: np.ndarray, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """Fold candidates into ``dist`` in place; return improved vertex ids.
 
-    The returned ids are unique and sorted.  ``np.minimum.at`` performs the
-    unbuffered scatter-min the CPE relaxation kernels implement in the real
-    code.
+    The returned ids are unique and sorted.  Two execution paths produce
+    bit-identical results (``min`` over float64 is exact, associative and
+    commutative):
+
+    * small batches: the unbuffered ``np.minimum.at`` scatter the CPE
+      relaxation kernels implement in the real code;
+    * large batches: argsort by target, one ``np.minimum.reduceat`` per
+      target group, then a single vectorized compare-and-assign — the
+      sort-based scatter-min of the hot path.
     """
     if targets.size == 0:
         return np.empty(0, dtype=np.int64)
-    before = dist[targets]
-    np.minimum.at(dist, targets, candidates)
-    after = dist[targets]
-    improved = np.unique(targets[after < before])
-    return improved.astype(np.int64)
+    if targets.size < SORT_SCATTER_THRESHOLD:
+        before = dist[targets]
+        np.minimum.at(dist, targets, candidates)
+        after = dist[targets]
+        improved = np.unique(targets[after < before])
+        return improved.astype(np.int64)
+    # Introsort: the per-target ``min`` is order-independent, so the
+    # cheaper unstable sort produces bit-identical results.
+    order = np.argsort(targets)
+    st = targets[order]
+    sc = candidates[order]
+    starts = np.empty(st.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(st[1:], st[:-1], out=starts[1:])
+    idx = np.flatnonzero(starts)
+    uniq = st[idx]
+    best = np.minimum.reduceat(sc, idx)
+    improved = best < dist[uniq]
+    winners = uniq[improved]
+    dist[winners] = best[improved]
+    return winners.astype(np.int64, copy=False)

@@ -30,8 +30,7 @@ from repro.core.coalescing import dedup_min
 from repro.core.config import SSSPConfig
 from repro.core.relaxation import frontier_edges, scatter_min
 from repro.core.result import SSSPResult, derive_parents
-from repro.graph.csr import CSRGraph, build_csr
-from repro.graph.types import EdgeList
+from repro.graph.csr import CSRGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, block1d_edge_balanced, make_grid
 from repro.simmpi.fabric import Fabric, Message
@@ -96,7 +95,20 @@ class TwoDRun:
 
 
 class _GridRank:
-    """One rank of the R x C grid: an edge block plus (maybe) owned vertices."""
+    """One rank of the R x C grid: an edge block plus (maybe) owned vertices.
+
+    State is *row-local*: every per-vertex array spans only this grid row's
+    contiguous source range ``[row_lo, row_hi)`` (the union of the owned
+    ranges of the row's ``cols`` ranks), never the full vertex set.  That is
+    enough because
+
+    * frontier sources are always row-replicated vertices (in range),
+    * relaxation *targets* this rank keeps are its own vertices (in range) —
+      remote column targets are routed to their owners and their replica
+      entries were provably never written under the dense layout (a column
+      target inside the row range is owned by this very rank), so dropping
+      them loses no information and changes no message.
+    """
 
     def __init__(
         self,
@@ -106,8 +118,10 @@ class _GridRank:
         graph: CSRGraph,
         owner: np.ndarray,
         owned: np.ndarray,
+        row_range: tuple[int, int],
         coalesce: bool = True,
         vertex_dtype: np.dtype = np.int64,
+        adj_cols: np.ndarray | None = None,
     ) -> None:
         self.rank = rank
         self._owner = owner
@@ -117,26 +131,40 @@ class _GridRank:
         self.grid_col = rank % cols
         self.rows = rows
         self.cols = cols
-        n = graph.num_vertices
         self.owned = owned
-        self.owned_mask = np.zeros(n, dtype=bool)
-        self.owned_mask[owned] = True
-        # Edge block: sources owned by ranks in this grid row, targets owned
-        # by ranks in this grid column.
-        src_all = np.repeat(np.arange(n, dtype=np.int64), graph.out_degree)
-        src_row = owner[src_all] // cols
-        dst_col = owner[graph.adj] % cols
-        mask = (src_row == self.grid_row) & (dst_col == self.grid_col)
-        self.block = build_csr(
-            EdgeList(src_all[mask], graph.adj[mask], graph.weight[mask], n),
-            symmetrize=False,
-            drop_self_loops=False,
-            dedup=False,
+        self.row_lo, self.row_hi = row_range
+        self.own_lo = int(owned[0]) if owned.size else 0
+        self.own_hi = int(owned[-1]) + 1 if owned.size else 0
+        # Edge block: sources owned by ranks in this grid row (a contiguous
+        # slice of the global CSR, renumbered to row-local rows), targets
+        # owned by ranks in this grid column (global ids, filtered).  The
+        # global CSR is (src, dst)-sorted, so slicing + masking preserves
+        # the exact edge order the dense build produced.
+        start, stop = graph.indptr[self.row_lo], graph.indptr[self.row_hi]
+        adj = graph.adj[start:stop]
+        # ``adj_cols`` (the grid column of every target in this row's edge
+        # slice) is shared by the row's ``cols`` ranks; the driver computes
+        # it once per grid row instead of once per rank.
+        if adj_cols is None:
+            adj_cols = owner[adj] % cols
+        keep = adj_cols == self.grid_col
+        kept_upto = np.zeros(adj.size + 1, dtype=np.int64)
+        np.cumsum(keep, out=kept_upto[1:])
+        self.block = CSRGraph(
+            kept_upto[graph.indptr[self.row_lo : self.row_hi + 1] - start],
+            adj[keep],
+            graph.weight[start:stop][keep],
+            self.row_hi - self.row_lo,
         )
         # Authoritative distances for owned vertices; replicated frontier
-        # distances for this grid row's sources.
-        self.dist = np.full(n, _INF, dtype=np.float64)
-        self.frontier = np.empty(0, dtype=np.int64)  # owned, newly improved
+        # distances for the rest of this grid row's source range.
+        self.dist_row = np.full(self.row_hi - self.row_lo, _INF, dtype=np.float64)
+        # Row-local ids of newly improved owned vertices.  ``_frontier_segs``
+        # counts the appended pieces: a single piece is always sorted and
+        # duplicate-free (scatter_min winners, or one sender's broadcast),
+        # letting the consumers skip the sort/unique.
+        self.frontier = np.empty(0, dtype=np.int64)
+        self._frontier_segs = 0
         self.step_edges = 0
         self.step_bytes = 0
 
@@ -147,10 +175,14 @@ class _GridRank:
         out: dict[int, Message] = {}
         if self.frontier.size == 0:
             return out
-        self.frontier = np.unique(self.frontier)
+        if self._frontier_segs > 1:
+            # Pieces appended by separate _apply calls may overlap (a vertex
+            # can improve more than once between broadcasts).
+            self.frontier = np.unique(self.frontier)
+        self._frontier_segs = 1
         msg = Message(
-            vertex=self.frontier.astype(self.vertex_dtype, copy=False),
-            dist=self.dist[self.frontier],
+            vertex=(self.frontier + self.row_lo).astype(self.vertex_dtype, copy=False),
+            dist=self.dist_row[self.frontier],
         )
         for c in range(self.cols):
             if c != self.grid_col:
@@ -162,9 +194,10 @@ class _GridRank:
     def receive_frontier(self, msg: Message | None) -> None:
         if msg is None:
             return
-        v = msg["vertex"]
-        np.minimum.at(self.dist, v, msg["dist"])
+        v = msg["vertex"].astype(np.int64, copy=False) - self.row_lo
+        np.minimum.at(self.dist_row, v, msg["dist"])
         self.frontier = np.concatenate([self.frontier, v])
+        self._frontier_segs += 1
 
     # -- phase 2: local relax + column reduce ------------------------------
 
@@ -172,25 +205,39 @@ class _GridRank:
         """Relax the block's edges out of the frontier; route candidates."""
         if self.frontier.size == 0:
             return {}
-        frontier = np.unique(self.frontier)
+        # At this point the frontier is the broadcast-deduplicated owned
+        # piece plus one piece per row partner — pieces are sorted and
+        # mutually disjoint (vertex ownership partitions the row), so a
+        # plain sort reproduces ``np.unique`` exactly, and a lone piece
+        # needs nothing at all.
+        if self._frontier_segs > 1:
+            frontier = np.sort(self.frontier)
+        else:
+            frontier = self.frontier
         self.frontier = np.empty(0, dtype=np.int64)
+        self._frontier_segs = 0
         src, dst, w = frontier_edges(self.block, frontier)
         self.step_edges += int(src.size)
         if src.size == 0:
             return {}
-        cands = self.dist[src] + w
+        cands = self.dist_row[src] + w
         if self.coalesce:
             # Send-side coalescing: one minimum per target, and candidates
-            # that cannot improve our own replica are dead already.
+            # that cannot improve our own replica are dead already.  Only
+            # in-range targets have a replica to check — and an in-range
+            # column target is necessarily owned by this rank; remote ones
+            # had a permanently-inf dense entry, i.e. were always kept.
             targets, best = dedup_min(dst, cands)
-            keep = best < self.dist[targets]
+            keep = np.ones(targets.size, dtype=bool)
+            inrow = (targets >= self.row_lo) & (targets < self.row_hi)
+            keep[inrow] = best[inrow] < self.dist_row[targets[inrow] - self.row_lo]
             targets, best = targets[keep], best[keep]
         else:
             targets, best = dst, cands
         if targets.size == 0:
             return {}
-        mine = self.owned_mask[targets]
-        self._apply(targets[mine], best[mine])
+        mine = (targets >= self.own_lo) & (targets < self.own_hi)
+        self._apply(targets[mine] - self.row_lo, best[mine])
         rem_t, rem_b = targets[~mine], best[~mine]
         if rem_t.size == 0:
             return {}
@@ -200,35 +247,64 @@ class _GridRank:
     def _route_column(self, targets: np.ndarray, best: np.ndarray) -> dict[int, Message]:
         out: dict[int, Message] = {}
         owner_rank = self._owner[targets]
+        first = int(owner_rank[0])
+        if owner_rank.size == 1 or not np.any(owner_rank != first):
+            # Single destination (common once the column has few owners):
+            # skip the sort/split machinery.
+            msg = Message(
+                vertex=targets.astype(self.vertex_dtype, copy=False), dist=best
+            )
+            self.step_bytes += msg.nbytes
+            out[first] = msg
+            return out
         order = np.argsort(owner_rank, kind="stable")
         so, st, sb = owner_rank[order], targets[order], best[order]
         cuts = np.flatnonzero(np.diff(so)) + 1
-        for dst_rank, t_chunk, b_chunk in zip(
-            so[np.concatenate(([0], cuts))], np.split(st, cuts), np.split(sb, cuts)
-        ):
+        bounds = np.concatenate(([0], cuts, [so.size]))
+        for i in range(bounds.size - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
             msg = Message(
-                vertex=t_chunk.astype(self.vertex_dtype, copy=False), dist=b_chunk
+                vertex=st[lo:hi].astype(self.vertex_dtype, copy=False),
+                dist=sb[lo:hi],
             )
             self.step_bytes += msg.nbytes
-            out[int(dst_rank)] = msg
+            out[int(so[lo])] = msg
         return out
 
     def receive_candidates(self, msg: Message | None) -> None:
         if msg is None:
             return
-        self._apply(msg["vertex"], msg["dist"])
+        self._apply(
+            msg["vertex"].astype(np.int64, copy=False) - self.row_lo, msg["dist"]
+        )
 
-    def _apply(self, targets: np.ndarray, cands: np.ndarray) -> None:
-        improved = scatter_min(self.dist, targets, cands)
-        improved = improved[self.owned_mask[improved]]
+    def _apply(self, targets_local: np.ndarray, cands: np.ndarray) -> None:
+        """Apply owned candidates (row-local ids) and extend the frontier."""
+        improved = scatter_min(self.dist_row, targets_local, cands)
         if improved.size:
             self.frontier = np.concatenate([self.frontier, improved])
+            self._frontier_segs += 1
 
     def take_step_work(self) -> tuple[int, int]:
         work = (self.step_edges, self.step_bytes)
         self.step_edges = 0
         self.step_bytes = 0
         return work
+
+    def state_array_lengths(self) -> dict[str, int]:
+        """Length of every resident per-vertex array this rank holds."""
+        return {
+            "dist_row": int(self.dist_row.size),
+            "block_indptr": int(self.block.indptr.size),
+        }
+
+    def state_nbytes(self) -> int:
+        """Resident bytes of this rank's row-local state (block included)."""
+        return int(self.dist_row.nbytes + self.owned.nbytes + self.block.nbytes)
+
+    def graph_payload_nbytes(self) -> int:
+        """Bytes of the rank's block of input edges (adjacency + weights)."""
+        return int(self.block.adj.nbytes + self.block.weight.nbytes)
 
 
 def distributed_sssp_2d(
@@ -317,6 +393,24 @@ def _distributed_sssp_2d(
         small_enough = n <= int(np.iinfo(np.uint32).max)
         vertex_dtype = np.uint32 if (config.compressed_indices and small_enough) else np.int64
     owner = np.asarray(part.owner_array)
+    owned_arrays = [part.vertices_of(r) for r in range(num_ranks)]
+    # Each grid row's source range: the union of its ranks' (contiguous,
+    # ordered) owned ranges.  Row-local state spans exactly this range.
+    row_ranges: list[tuple[int, int]] = []
+    for gr in range(rows):
+        in_row = [a for a in owned_arrays[gr * cols : (gr + 1) * cols] if a.size]
+        if in_row:
+            row_ranges.append((int(in_row[0][0]), int(in_row[-1][-1]) + 1))
+        else:
+            row_ranges.append((0, 0))
+    # The grid column of every edge target, computed once per grid row and
+    # shared by the row's ranks (each would otherwise redo the same
+    # owner-gather over the row's full edge slice).
+    owner_col = owner % cols
+    row_adj_cols = [
+        owner_col[graph.adj[graph.indptr[lo] : graph.indptr[hi]]]
+        for lo, hi in row_ranges
+    ]
     ranks = [
         _GridRank(
             r,
@@ -324,15 +418,17 @@ def _distributed_sssp_2d(
             cols,
             graph,
             owner,
-            part.vertices_of(r),
+            owned_arrays[r],
+            row_ranges[r // cols],
             coalesce=coalesce,
             vertex_dtype=vertex_dtype,
+            adj_cols=row_adj_cols[r // cols],
         )
         for r in range(num_ranks)
     ]
     src_rank = ranks[int(owner[source])]
-    src_rank.dist[source] = 0.0
-    src_rank.frontier = np.array([source], dtype=np.int64)
+    src_rank.dist_row[source - src_rank.row_lo] = 0.0
+    src_rank.frontier = np.array([source - src_rank.row_lo], dtype=np.int64)
 
     rounds = 0
     max_partners = 0
@@ -369,7 +465,7 @@ def _distributed_sssp_2d(
 
     dist = np.full(n, _INF, dtype=np.float64)
     for r in ranks:
-        dist[r.owned] = r.dist[r.owned]
+        dist[r.owned] = r.dist_row[r.owned - r.row_lo]
     result = SSSPResult(
         source=source, dist=dist, parent=derive_parents(graph, dist, source)
     )
@@ -388,6 +484,9 @@ def _distributed_sssp_2d(
         result.counters.add("retry_rounds", fabric.trace.retries)
         result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
         result.counters.add("rank_stalls", fabric.trace.stalls)
+    rank_bytes = [r.state_nbytes() for r in ranks]
+    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
+    rank_lengths = [r.state_array_lengths() for r in ranks]
     return TwoDRun(
         result=result,
         rows=rows,
@@ -396,4 +495,12 @@ def _distributed_sssp_2d(
         time_breakdown=fabric.clock.breakdown(),
         trace_summary=fabric.trace.summary(),
         max_partners_per_rank=max_partners,
+        meta={
+            "rank_state": {
+                "max_bytes": max(rank_bytes),
+                "total_bytes": sum(rank_bytes),
+                "max_state_bytes": max(rank_state_only),
+                "max_array_len": max(max(d.values()) for d in rank_lengths),
+            },
+        },
     )

@@ -102,6 +102,31 @@ class CSRGraph:
         take = _ranges_to_indices(self.indptr[:-1][keep], self.indptr[1:][keep])
         return CSRGraph(indptr, self.adj[take], self.weight[take], self.num_vertices)
 
+    def extract_rows(self, rows: np.ndarray, keep: np.ndarray | None = None) -> "CSRGraph":
+        """Renumbered CSR over ``rows``: local row ``i`` is global ``rows[i]``.
+
+        Unlike :meth:`subgraph_rows` (which keeps a dense O(num_vertices)
+        indptr), the result's ``indptr`` has ``rows.size + 1`` entries —
+        the owned-local layout the distributed engines use.  Column ids
+        (``adj``) stay *global*; relaxation targets can live on any rank,
+        so only the row space is renumbered.
+
+        ``keep`` (optional boolean mask over ``rows``) empties the rows
+        where it is ``False`` — used to drop delegated hub rows without
+        copying their adjacency.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        stops = self.indptr[rows + 1]
+        if keep is not None:
+            starts = np.where(keep, starts, 0)
+            stops = np.where(keep, stops, 0)
+        lengths = stops - starts
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        take = _ranges_to_indices(starts, stops)
+        return CSRGraph(indptr, self.adj[take], self.weight[take], rows.size)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.csr import CSRGraph, build_csr
-from repro.graph.kronecker import KroneckerSpec, kronecker_edge_slice
+from repro.graph.kronecker import KroneckerSpec, _permutation, kronecker_edge_slice
 from repro.graph.types import EdgeList
 from repro.partition import block1d
 from repro.simmpi.fabric import Fabric, Message
@@ -65,10 +65,16 @@ def distributed_construction(
     wall = Timer()
     with wall:
         # 1. Each rank generates its slice (no communication: the stream is
-        # a pure function of (seed, edge index)).
+        # a pure function of (seed, edge index)).  The vertex relabeling
+        # permutation is shared across all slices — on a real machine every
+        # rank derives the identical permutation from the seed; recomputing
+        # the O(n log n) argsort per rank would charge P times the work.
+        permutation = _permutation(spec)
         bounds = np.linspace(0, spec.num_edges, num_ranks + 1).astype(np.int64)
         slices = [
-            kronecker_edge_slice(spec, int(bounds[r]), int(bounds[r + 1]))
+            kronecker_edge_slice(
+                spec, int(bounds[r]), int(bounds[r + 1]), permutation=permutation
+            )
             for r in range(num_ranks)
         ]
         # 2. Symmetrize locally and shuffle by source-vertex owner.

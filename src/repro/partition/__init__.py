@@ -18,11 +18,13 @@ algorithmic concern and lives in :mod:`repro.core.delegation`; the
 partitioners only expose the degree information it needs.
 """
 
+from repro.partition.localmap import LocalIndexMap
 from repro.partition.metrics import PartitionMetrics, evaluate_partition
 from repro.partition.oned import Partition1D, block1d, block1d_edge_balanced, hashed1d
 from repro.partition.twod import TwoDPartition, make_grid
 
 __all__ = [
+    "LocalIndexMap",
     "Partition1D",
     "PartitionMetrics",
     "TwoDPartition",

@@ -28,26 +28,32 @@ __all__ = ["Message", "Fabric"]
 class Message:
     """An immutable bundle of equal-length named numpy arrays."""
 
-    __slots__ = ("fields",)
+    __slots__ = ("fields", "nbytes")
 
     def __init__(self, **fields: np.ndarray) -> None:
         if not fields:
             raise ValueError("a message needs at least one field")
-        lengths = {k: np.asarray(v).shape for k, v in fields.items()}
-        sizes = {s[0] if s else None for s in lengths.values()}
-        if len(sizes) != 1 or any(np.asarray(v).ndim != 1 for v in fields.values()):
-            raise ValueError(f"message fields must be equal-length 1-D arrays, got {lengths}")
-        self.fields = {k: np.ascontiguousarray(v) for k, v in fields.items()}
+        out: dict[str, np.ndarray] = {}
+        length = -1
+        nbytes = 0
+        for k, v in fields.items():
+            a = np.ascontiguousarray(v)
+            if a.ndim != 1 or (length >= 0 and a.shape[0] != length):
+                shapes = {k: np.asarray(v).shape for k, v in fields.items()}
+                raise ValueError(f"message fields must be equal-length 1-D arrays, got {shapes}")
+            length = a.shape[0]
+            nbytes += a.nbytes
+            out[k] = a
+        self.fields = out
+        # Fields never change after construction, so the wire size is fixed;
+        # the cost model reads it once per hop and charge.
+        self.nbytes = int(nbytes)
 
     def __getitem__(self, key: str) -> np.ndarray:
         return self.fields[key]
 
     def __len__(self) -> int:
         return next(iter(self.fields.values())).shape[0]
-
-    @property
-    def nbytes(self) -> int:
-        return int(sum(v.nbytes for v in self.fields.values()))
 
     @property
     def names(self) -> tuple[str, ...]:

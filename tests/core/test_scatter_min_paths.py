@@ -1,0 +1,108 @@
+"""Property tests: both scatter_min execution paths match a reference.
+
+``scatter_min`` picks between an unbuffered ``np.minimum.at`` scatter
+(small batches) and an argsort + ``minimum.reduceat`` reduction (large
+batches) by ``SORT_SCATTER_THRESHOLD``.  The engines rely on the two
+being *bit-identical* — the path taken varies with frontier size, so any
+divergence would make modeled runs non-deterministic.  float64 ``min``
+is exact, associative and commutative, so exact agreement is achievable
+and required.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import relaxation
+from repro.core.relaxation import SORT_SCATTER_THRESHOLD, scatter_min
+
+
+def reference_scatter_min(dist, targets, candidates):
+    """Pure-Python oracle: fold candidates one at a time."""
+    improved = set()
+    for t, c in zip(targets.tolist(), candidates.tolist()):
+        if c < dist[t]:
+            dist[t] = c
+            improved.add(t)
+    return np.array(sorted(improved), dtype=np.int64)
+
+
+def run_all_paths(dist, targets, candidates):
+    """Run the reference and both real paths on copies of ``dist``."""
+    results = {}
+    d_ref = dist.copy()
+    improved_ref = reference_scatter_min(d_ref, targets, candidates)
+    results["reference"] = (d_ref, improved_ref)
+    for name, threshold in [("minimum_at", 10**9), ("sort_reduceat", 0)]:
+        d = dist.copy()
+        orig = relaxation.SORT_SCATTER_THRESHOLD
+        relaxation.SORT_SCATTER_THRESHOLD = threshold
+        try:
+            improved = scatter_min(d, targets, candidates)
+        finally:
+            relaxation.SORT_SCATTER_THRESHOLD = orig
+        results[name] = (d, improved)
+    return results
+
+
+def assert_all_agree(dist, targets, candidates):
+    results = run_all_paths(dist, targets, candidates)
+    d_ref, improved_ref = results["reference"]
+    for name in ("minimum_at", "sort_reduceat"):
+        d, improved = results[name]
+        np.testing.assert_array_equal(
+            d.view(np.uint64), d_ref.view(np.uint64), err_msg=f"{name}: dist bytes"
+        )
+        np.testing.assert_array_equal(improved, improved_ref, err_msg=f"{name}: improved")
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("batch", [1, 7, SORT_SCATTER_THRESHOLD - 1, SORT_SCATTER_THRESHOLD, 500, 5000])
+def test_paths_agree_random_batches(seed, batch):
+    rng = np.random.default_rng(seed)
+    n = 64
+    dist = np.where(rng.random(n) < 0.3, np.inf, rng.random(n) * 2)
+    # Heavy duplication: many candidates per target, ties included.
+    targets = rng.integers(0, n, size=batch)
+    candidates = np.round(rng.random(batch) * 4, 2)
+    assert_all_agree(dist, targets, candidates)
+
+
+def test_empty_frontier():
+    dist = np.full(10, np.inf)
+    out = scatter_min(dist, np.empty(0, dtype=np.int64), np.empty(0))
+    assert out.size == 0 and out.dtype == np.int64
+    assert np.all(np.isinf(dist))
+
+
+def test_all_duplicates_single_target():
+    dist = np.full(4, np.inf)
+    targets = np.full(1000, 2, dtype=np.int64)
+    candidates = np.linspace(1.0, 0.001, 1000)
+    assert_all_agree(dist, targets, candidates)
+
+
+def test_no_improvement_returns_empty():
+    dist = np.zeros(16)
+    targets = np.arange(16, dtype=np.int64).repeat(50)
+    candidates = np.ones(targets.size)
+    results = run_all_paths(dist, targets, candidates)
+    for name, (d, improved) in results.items():
+        assert improved.size == 0, name
+        assert np.all(d == 0), name
+
+
+def test_exact_ties_do_not_report_improvement():
+    dist = np.array([1.0, np.inf, 0.5])
+    targets = np.array([0, 0, 1, 2], dtype=np.int64)
+    candidates = np.array([1.0, 1.0, np.inf, 0.5])
+    assert_all_agree(dist, targets, candidates)
+
+
+def test_improved_ids_unique_sorted_int64():
+    rng = np.random.default_rng(42)
+    dist = np.full(32, np.inf)
+    targets = rng.integers(0, 32, size=4000)
+    candidates = rng.random(4000)
+    improved = scatter_min(dist, targets, candidates)
+    assert improved.dtype == np.int64
+    assert np.array_equal(improved, np.unique(improved))

@@ -1,0 +1,56 @@
+"""Unit tests for CSRGraph.extract_rows (renumbered owned-local CSR)."""
+
+import numpy as np
+
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+
+
+def _graph():
+    return build_csr(generate_kronecker(7, seed=11))
+
+
+def test_rows_renumbered_columns_global():
+    g = _graph()
+    rows = np.array([3, 10, 64, 100], dtype=np.int64)
+    sub = g.extract_rows(rows)
+    assert sub.num_vertices == rows.size
+    assert sub.indptr.size == rows.size + 1
+    for i, v in enumerate(rows):
+        np.testing.assert_array_equal(sub.neighbors(i), g.neighbors(int(v)))
+        np.testing.assert_array_equal(sub.neighbor_weights(i), g.neighbor_weights(int(v)))
+
+
+def test_adjacency_bytes_identical_to_dense_subgraph():
+    g = _graph()
+    rows = np.arange(20, 60, dtype=np.int64)
+    sub = g.extract_rows(rows)
+    dense = g.subgraph_rows(rows)
+    np.testing.assert_array_equal(sub.adj, dense.adj[dense.indptr[20] :])
+    np.testing.assert_array_equal(sub.weight, dense.weight[dense.indptr[20] :])
+
+
+def test_keep_mask_blanks_rows():
+    g = _graph()
+    rows = np.array([5, 6, 7], dtype=np.int64)
+    keep = np.array([True, False, True])
+    sub = g.extract_rows(rows, keep=keep)
+    np.testing.assert_array_equal(sub.neighbors(0), g.neighbors(5))
+    assert sub.neighbors(1).size == 0
+    np.testing.assert_array_equal(sub.neighbors(2), g.neighbors(7))
+
+
+def test_empty_rows():
+    g = _graph()
+    sub = g.extract_rows(np.empty(0, dtype=np.int64))
+    assert sub.num_vertices == 0
+    assert sub.num_edges == 0
+    assert sub.indptr.size == 1
+
+
+def test_indptr_is_owned_sized_not_dense():
+    g = _graph()
+    rows = np.array([0, 127], dtype=np.int64)
+    sub = g.extract_rows(rows)
+    assert sub.indptr.size == 3  # not num_vertices + 1
+    assert sub.num_edges == g.degree_of(rows).sum()

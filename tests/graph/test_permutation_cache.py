@@ -1,0 +1,48 @@
+"""The Kronecker vertex permutation is computed once per (seed, scale)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.kronecker import (
+    KroneckerSpec,
+    _cached_permutation,
+    _permutation,
+    kronecker_edge_slice,
+)
+from repro.utils.prng import CounterRNG
+
+
+def test_cache_returns_same_object():
+    spec = KroneckerSpec(scale=8, seed=123)
+    assert _permutation(spec) is _permutation(spec)
+
+
+def test_cache_is_keyed_by_seed_and_size():
+    a = _permutation(KroneckerSpec(scale=8, seed=1))
+    b = _permutation(KroneckerSpec(scale=8, seed=2))
+    c = _permutation(KroneckerSpec(scale=9, seed=1))
+    assert a is not b and a is not c
+    assert a.size == b.size == 256 and c.size == 512
+
+
+def test_cached_permutation_matches_uncached():
+    spec = KroneckerSpec(scale=8, seed=77)
+    direct = CounterRNG(spec.seed, 3).shuffle_permutation(spec.num_vertices)
+    np.testing.assert_array_equal(_permutation(spec), direct)
+
+
+def test_cached_array_is_read_only():
+    perm = _cached_permutation(55, 128)
+    with pytest.raises(ValueError):
+        perm[0] = 0
+
+
+def test_explicit_permutation_matches_default():
+    """Passing the shared permutation reproduces the default slice exactly."""
+    spec = KroneckerSpec(scale=7, seed=5)
+    perm = _permutation(spec)
+    a = kronecker_edge_slice(spec, 10, 200)
+    b = kronecker_edge_slice(spec, 10, 200, permutation=perm)
+    np.testing.assert_array_equal(a.src, b.src)
+    np.testing.assert_array_equal(a.dst, b.dst)
+    np.testing.assert_array_equal(a.weight, b.weight)
