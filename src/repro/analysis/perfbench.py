@@ -119,9 +119,26 @@ def check_regression(
     wall-clock is gated — modeled time and byte totals are pinned exactly
     by the equivalence-fixture tests, so a tolerance here would be
     redundant (and weaker).
+
+    A malformed baseline raises :class:`ValueError` naming what is wrong,
+    so the CI gate fails with a diagnosis instead of a KeyError — a gate
+    that crashes on its own inputs looks like a perf regression.
     """
+    engines = baseline.get("engines") if isinstance(baseline, dict) else None
+    if not isinstance(engines, dict) or not engines:
+        raise ValueError(
+            "malformed baseline: expected a benchmark document with a "
+            "non-empty 'engines' mapping (generate one with "
+            "'repro bench --out <path>')"
+        )
     failures: list[str] = []
-    for engine, base in baseline.get("engines", {}).items():
+    for engine, base in engines.items():
+        wall = base.get("wall_seconds") if isinstance(base, dict) else None
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            raise ValueError(
+                f"malformed baseline: engines[{engine!r}].wall_seconds must "
+                f"be a positive number, got {wall!r}"
+            )
         cur = current.get("engines", {}).get(engine)
         if cur is None:
             failures.append(f"{engine}: missing from current run")

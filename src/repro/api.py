@@ -116,7 +116,9 @@ class SharedRun:
         }
 
 
-def _run_dist1d(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+def _run_dist1d(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+):
     _reject_extra("dist1d", extra)
     return _distributed_sssp(
         graph,
@@ -126,10 +128,13 @@ def _run_dist1d(graph, source, *, num_ranks, machine, config, faults, tracer, **
         config=config,
         tracer=tracer,
         faults=faults,
+        sanitize=sanitize,
     )
 
 
-def _run_dist2d(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+def _run_dist2d(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+):
     grid = extra.pop("grid", None)
     _reject_extra("dist2d", extra)
     return _distributed_sssp_2d(
@@ -141,10 +146,13 @@ def _run_dist2d(graph, source, *, num_ranks, machine, config, faults, tracer, **
         tracer=tracer,
         config=config,
         faults=faults,
+        sanitize=sanitize,
     )
 
 
-def _run_bfs(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+def _run_bfs(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+):
     if config is not None:
         raise ValueError(
             "engine 'bfs' takes no SSSPConfig; pass its own knobs directly "
@@ -161,11 +169,14 @@ def _run_bfs(graph, source, *, num_ranks, machine, config, faults, tracer, **ext
         machine=machine,
         tracer=tracer,
         faults=faults,
+        sanitize=sanitize,
         **extra,
     )
 
 
-def _run_shared(graph, source, *, num_ranks, machine, config, faults, tracer, **extra):
+def _run_shared(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+):
     if machine is not None:
         raise ValueError(
             "engine 'shared' runs in-process without a cost model; "
@@ -175,6 +186,11 @@ def _run_shared(graph, source, *, num_ranks, machine, config, faults, tracer, **
         raise ValueError(
             "engine 'shared' has no fabric to inject faults into; "
             "faults= requires a distributed engine (dist1d, dist2d, bfs)"
+        )
+    if sanitize:
+        raise ValueError(
+            "engine 'shared' has no fabric to sanitize; sanitize=True "
+            "requires a distributed engine (dist1d, dist2d, bfs)"
         )
     max_phases = extra.pop("max_phases", None)
     _reject_extra("shared", extra)
@@ -214,6 +230,7 @@ def run(
     config: SSSPConfig | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     tracer: Tracer | None = None,
+    sanitize: bool = False,
     **engine_kwargs,
 ) -> RunSummary:
     """Run one traversal on the simulated machine via the unified facade.
@@ -237,6 +254,12 @@ def run(
             unchanged under faults; modeled time and retransmission
             accounting are not.
         tracer: optional run telemetry collector.
+        sanitize: audit every fabric collective at runtime (schema
+            matching, message conservation, NaN reductions, no-progress
+            livelock); violations raise
+            :class:`~repro.simmpi.sanitizer.SanitizerViolation` and the
+            audit summary lands in ``result.meta["sanitizer"]``.  Not
+            applicable to ``shared`` (no fabric).
         **engine_kwargs: engine-specific extras — ``grid=(r, c)`` for
             ``dist2d``; ``direction=``, ``partition=``, ``hierarchical=``,
             ``alpha=``, ``beta=`` for ``bfs``; ``max_phases=`` for
@@ -259,5 +282,6 @@ def run(
         config=config,
         faults=faults,
         tracer=tracer,
+        sanitize=sanitize,
         **engine_kwargs,
     )

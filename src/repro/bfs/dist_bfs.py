@@ -102,6 +102,9 @@ class _BFSRank:
     ) -> None:
         self.rank = rank
         self.num_ranks = num_ranks
+        # repro: index-space: self.parent[local], self.level[local]
+        # repro: index-space: self.owner[global], self.owned=global
+        # repro: index-space: self.frontier=local, owned=global
         self.owner = owner
         self.owned = owned
         self.range_lo = int(owned[0]) if owned.size else 0
@@ -118,6 +121,9 @@ class _BFSRank:
 
     def expand_top_down(self, depth: int) -> dict[int, Message]:
         """Expand owned frontier; claim locally, route remote claims."""
+        # repro: wire-path
+        # repro: index-space: dst=global
+        # Per-destination claim order is wire byte order: stable sort only.
         src, dst, _ = frontier_edges(self.local_graph, self.frontier)
         self.step_edges += int(src.size)
         self.frontier = np.empty(0, dtype=np.int64)
@@ -159,6 +165,7 @@ class _BFSRank:
 
     def _claim(self, targets: np.ndarray, parents: np.ndarray, depth: int) -> None:
         """Claim owned-local ``targets`` with global ``parents``."""
+        # repro: index-space: targets=local, parents=global
         unvisited = self.parent[targets] == _NO_PARENT
         t = targets[unvisited]
         p = parents[unvisited]
@@ -255,6 +262,7 @@ def _distributed_bfs(
     hierarchical: bool = False,
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
+    sanitize: bool = False,
 ) -> DistBFSRun:
     """Distributed BFS; returns levels/parents identical to the shared kernel's
     reachability and validated by :func:`repro.bfs.validation.validate_bfs`.
@@ -283,7 +291,12 @@ def _distributed_bfs(
         )
     machine = machine or small_cluster(max(num_ranks, 1))
     fabric = Fabric(
-        machine, num_ranks, hierarchical=hierarchical, tracer=tracer, faults=faults
+        machine,
+        num_ranks,
+        hierarchical=hierarchical,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
     )
     owner = np.asarray(part.owner_array)
     ranks = [
@@ -377,6 +390,8 @@ def _distributed_bfs(
         result.counters.add("retry_rounds", fabric.trace.retries)
         result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
         result.counters.add("rank_stalls", fabric.trace.stalls)
+    if fabric.sanitizer is not None:
+        result.meta["sanitizer"] = fabric.sanitizer.report()
     rank_bytes = [r.state_nbytes() for r in ranks]
     rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
     rank_lengths = [r.state_array_lengths() for r in ranks]

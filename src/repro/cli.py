@@ -10,7 +10,9 @@ Mirrors the real benchmark driver's workflow:
 * ``ablation`` — the optimization ablation table;
 * ``sweep``    — the ∆ sensitivity sweep;
 * ``project``  — fit the cost model from real runs, project a target
-  (scale, nodes) on the Sunway-class machine.
+  (scale, nodes) on the Sunway-class machine;
+* ``lint``     — the codebase-specific static analyzer (index-space,
+  determinism, and dtype rule packs; see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -67,6 +69,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer=tracer,
         faults=faults,
         engine=args.engine,
+        sanitize=args.sanitize,
     )
     print(render_output_block(result))
     if faults is not None:
@@ -76,6 +79,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"faults: {faults.describe()} -> {drops} drops, "
             f"{retry} bytes retransmitted, {stalls} stalls (answers validated)"
+        )
+    if args.sanitize:
+        print(
+            f"sanitizer: {len(result.roots)} root run(s) audited, 0 "
+            f"violations (schema matching, conservation, progress)"
         )
     if tracer is not None:
         tracer.close()
@@ -143,6 +151,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
             num_ranks=args.ranks,
             direction=direction,
             faults=faults,
+            sanitize=args.sanitize,
         )
         ok &= validate_bfs(graph, run.result).ok
         rows.append(
@@ -230,15 +239,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         dump_json(doc, args.out)
         print(f"bench: wrote {args.out}", file=sys.stderr)
     if args.check:
-        failures = check_regression(
-            doc, load_json(args.check), max_regression=args.max_regression
-        )
+        try:
+            baseline = load_json(args.check)
+        except FileNotFoundError:
+            print(
+                f"repro bench: baseline not found: {args.check} (generate "
+                f"one with 'repro bench --out {args.check}')",
+                file=sys.stderr,
+            )
+            return 2
+        except json.JSONDecodeError as exc:
+            print(
+                f"repro bench: baseline {args.check} is not valid JSON "
+                f"(line {exc.lineno}: {exc.msg})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            failures = check_regression(
+                doc, baseline, max_regression=args.max_regression
+            )
+        except ValueError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
         if failures:
             for line in failures:
                 print(f"bench: PERF REGRESSION: {line}", file=sys.stderr)
             return 1
         print(f"bench: within {args.max_regression:.0%} of {args.check}", file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintError,
+        all_rules,
+        get_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:26} [{rule.pack:5}] {rule.description}")
+        return 0
+    try:
+        rules = get_rules(args.rules)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    paths = args.paths
+    if not paths:
+        # Default to linting the installed repro package itself.
+        import os
+
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    try:
+        findings, checked = lint_paths(paths, rules=rules)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    text = render(findings, checked)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"lint: wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 1 if findings else 0
 
 
 def _cmd_project(args: argparse.Namespace) -> int:
@@ -289,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "audit every fabric collective at runtime (schema matching, "
+            "message conservation, no-progress detection); violations abort"
+        ),
+    )
+    p_run.add_argument(
         "--trace-out", default=None, help="write the telemetry stream as JSONL"
     )
     p_run.add_argument(
@@ -313,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="inject deterministic fabric faults (see 'run --faults')",
+    )
+    p_bfs.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="audit every fabric collective at runtime (see 'run --sanitize')",
     )
     p_bfs.set_defaults(func=_cmd_bfs)
 
@@ -348,6 +433,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--max-regression", type=float, default=0.30)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_lint = sub.add_parser(
+        "lint", help="codebase-specific static analysis (see repro.lint)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE|PACK",
+        help="restrict to these rule ids or pack ids (index, det, dtype)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p_lint.add_argument("--out", default=None, help="write the report here")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_proj = sub.add_parser("project", help="full-machine projection")
     p_proj.add_argument("--fit-scale", type=int, default=13, help="largest fit scale")

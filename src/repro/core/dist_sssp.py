@@ -98,6 +98,9 @@ class _Rank:
         self.num_ranks = num_ranks
         self.config = config
         self.delta = delta
+        # repro: index-space: self.owner[global], self.owned[local]=global
+        # repro: index-space: self.dist[local], self.in_epoch[local]
+        # repro: index-space: self.is_hub_local[local], owned=global
         self.owner = owner  # shared dense owner array (read-only use)
         self.owned = owned
         self.lmap = LocalIndexMap(owned)
@@ -166,6 +169,10 @@ class _Rank:
 
     def _route(self, targets: np.ndarray, cands: np.ndarray, kind: int) -> None:
         """Apply owned candidates locally; enqueue remote ones for owners."""
+        # repro: wire-path
+        # repro: index-space: targets=global
+        # The per-destination record order this split produces is the wire
+        # byte order, so the owner argsort below must stay stable.
         if targets.size == 0:
             return
         if self.num_ranks == 1:
@@ -216,6 +223,7 @@ class _Rank:
 
     def _announce(self, hubs_local: np.ndarray, kind: int) -> None:
         """Broadcast (hub, dist) records; expand the local slice directly."""
+        # repro: index-space: hubs_local=local, hubs=global
         assert self.delegates is not None
         hubs_in_frontier = self.lmap.to_global(hubs_local)
         slots = self.delegates.slots_of(hubs_in_frontier)
@@ -253,6 +261,7 @@ class _Rank:
         """Apply received updates; expand received hub announcements."""
         if msg is None:
             return
+        # repro: index-space: targets=global
         targets, dists, kinds = unpack_updates(msg)
         if not kinds.any():
             # Pure-update message (the reduce phase): skip the kind split.
@@ -280,6 +289,7 @@ class _Rank:
         locally (or ``fusion_cap`` is hit); without it, one pass.
         """
         max_iters = self.config.fusion_cap if self.config.fuse_buckets else 1
+        # repro: index-space: frontier=local, targets=global
         for _ in range(max_iters):
             frontier = self.buckets.drain(k)
             if frontier.size == 0:
@@ -307,6 +317,7 @@ class _Rank:
         """Relax the heavy edges of everything settled this epoch."""
         if not self.settled_parts:
             return
+        # repro: index-space: settled=local, targets=global
         settled = np.concatenate(self.settled_parts)
         if self.is_hub_local is not None:
             hub_mask = self.is_hub_local[settled]
@@ -528,6 +539,7 @@ def _distributed_sssp(
     config: SSSPConfig | None = None,
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
+    sanitize: bool = False,
 ) -> DistSSSPRun:
     """Run distributed ∆-stepping SSSP on a simulated machine.
 
@@ -583,6 +595,7 @@ def _distributed_sssp(
         hierarchical=config.hierarchical_aggregation,
         tracer=tracer,
         faults=faults,
+        sanitize=sanitize,
     )
     metrics = MetricsRegistry()
     ranks = [
@@ -708,6 +721,7 @@ def _distributed_sssp(
     # ---- assemble the global answer -------------------------------------
     # Each rank's dist vector is owned-local, so the gather is one direct
     # scatter per rank — no dense per-rank indexing.
+    # repro: index-space: dist[global], r.owned=global, r.dist[local]
     dist = np.full(n, _INF, dtype=np.float64)
     for r in ranks:
         dist[r.owned] = r.dist
@@ -736,6 +750,8 @@ def _distributed_sssp(
         result.counters.add("retry_rounds", fabric.trace.retries)
         result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
         result.counters.add("rank_stalls", fabric.trace.stalls)
+    if fabric.sanitizer is not None:
+        result.meta["sanitizer"] = fabric.sanitizer.report()
     if tracer.enabled:
         metrics.gauge("work_imbalance").set(fabric.compute_imbalance("edges"))
         metrics.gauge("comm_imbalance").set(fabric.trace.comm_imbalance())

@@ -131,6 +131,9 @@ class _GridRank:
         self.grid_col = rank % cols
         self.rows = rows
         self.cols = cols
+        # "local" for a grid rank means *row-local*: global id − row_lo.
+        # repro: index-space: self.dist_row[local], self.frontier=local
+        # repro: index-space: self.owned=global, self._owner[global]
         self.owned = owned
         self.row_lo, self.row_hi = row_range
         self.own_lo = int(owned[0]) if owned.size else 0
@@ -203,6 +206,7 @@ class _GridRank:
 
     def relax_block(self) -> dict[int, Message]:
         """Relax the block's edges out of the frontier; route candidates."""
+        # repro: index-space: targets=global, dst=global
         if self.frontier.size == 0:
             return {}
         # At this point the frontier is the broadcast-deduplicated owned
@@ -245,6 +249,9 @@ class _GridRank:
         return self._route_column(rem_t, rem_b)
 
     def _route_column(self, targets: np.ndarray, best: np.ndarray) -> dict[int, Message]:
+        # repro: wire-path
+        # repro: index-space: targets=global
+        # Per-destination record order is wire byte order: stable sort only.
         out: dict[int, Message] = {}
         owner_rank = self._owner[targets]
         first = int(owner_rank[0])
@@ -345,6 +352,7 @@ def _distributed_sssp_2d(
     tracer: Tracer | None = None,
     config: SSSPConfig | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
+    sanitize: bool = False,
 ) -> TwoDRun:
     """Exact SSSP with 2-D frontier relaxation on a process grid.
 
@@ -373,7 +381,7 @@ def _distributed_sssp_2d(
     if rows * cols != num_ranks:
         raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
     machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks, tracer=tracer, faults=faults)
+    fabric = Fabric(machine, num_ranks, tracer=tracer, faults=faults, sanitize=sanitize)
     if config is None:
         part = block1d(n, num_ranks)
         coalesce = True
@@ -484,6 +492,8 @@ def _distributed_sssp_2d(
         result.counters.add("retry_rounds", fabric.trace.retries)
         result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
         result.counters.add("rank_stalls", fabric.trace.stalls)
+    if fabric.sanitizer is not None:
+        result.meta["sanitizer"] = fabric.sanitizer.report()
     rank_bytes = [r.state_nbytes() for r in ranks]
     rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
     rank_lengths = [r.state_array_lengths() for r in ranks]

@@ -56,6 +56,9 @@ def distributed_construction(
     hierarchical: bool = False,
 ) -> DistBuildResult:
     """Generate + shuffle + build the benchmark graph across ranks."""
+    # repro: wire-path
+    # Edge shuffle order is wire byte order (and CSR build order): the
+    # owner argsort below must stay stable so the dense build reproduces.
     if num_ranks < 1:
         raise ValueError("num_ranks must be >= 1")
     machine = machine or small_cluster(max(num_ranks, 1))

@@ -105,6 +105,7 @@ def run_sssp_on_graph(
     tracer: Tracer | None = None,
     faults: object = None,
     engine: str = "dist1d",
+    sanitize: bool = False,
 ) -> list[RootRun]:
     """Kernel-3 loop: one distributed run per root, each validated.
 
@@ -129,6 +130,7 @@ def run_sssp_on_graph(
                 config=config,
                 faults=faults,
                 tracer=tracer,
+                sanitize=sanitize,
             )
             traversed = run.result.traversed_edges(graph)
             with tracer.span("validation", cat="harness", root=int(root)):
@@ -165,6 +167,7 @@ def run_graph500_sssp(
     tracer: Tracer | None = None,
     faults: object = None,
     engine: str = "dist1d",
+    sanitize: bool = False,
 ) -> BenchmarkResult:
     """Run the complete Graph500 SSSP benchmark at the given scale.
 
@@ -173,7 +176,9 @@ def run_graph500_sssp(
 
     ``faults`` injects a deterministic fault schedule into every root's
     fabric (answers are unchanged; TEPS degrade by the modeled retry cost);
-    ``engine`` selects the distributed engine (``dist1d``/``dist2d``).
+    ``engine`` selects the distributed engine (``dist1d``/``dist2d``);
+    ``sanitize`` audits every fabric collective at runtime (see
+    :class:`~repro.simmpi.sanitizer.FabricSanitizer`).
 
     ``tracer`` (optional) receives the full telemetry of the protocol —
     generation/construction spans (wall-clock kernels), one ``root`` span
@@ -214,6 +219,7 @@ def run_graph500_sssp(
         tracer=tracer,
         faults=faults,
         engine=engine,
+        sanitize=sanitize,
     )
     if tracer.enabled:
         registry = MetricsRegistry()

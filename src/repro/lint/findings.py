@@ -1,0 +1,29 @@
+"""The unit of analyzer output: one :class:`Finding` per violation."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sorted by location (path, line, col) then rule name, so reports are
+    stable across runs regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """One ``path:line:col: rule: message`` line (clickable in editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,76 @@
+"""Rule base class and the registry the runner and CLI enumerate."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.context import LintModule
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rules", "rule_packs"]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One named check.  Subclasses set the metadata and implement ``check``.
+
+    Attributes:
+        name: kebab-case rule id, ``<pack>-<what>`` (used in suppression
+            comments and ``--rules`` filters).
+        pack: rule-pack id (``index``, ``det``, ``dtype``).
+        description: one line for ``repro lint --list-rules``.
+    """
+
+    name: str = ""
+    pack: str = ""
+    description: str = ""
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: LintModule, node, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add to the registry."""
+    rule = cls()
+    if not rule.name or not rule.pack:
+        raise ValueError(f"rule {cls.__name__} must set name and pack")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by (pack, name) for stable output."""
+    return sorted(_REGISTRY.values(), key=lambda r: (r.pack, r.name))
+
+
+def get_rules(names: list[str] | None = None) -> list[Rule]:
+    """Rules filtered to ``names`` (rule ids or pack ids); all when None."""
+    rules = all_rules()
+    if not names:
+        return rules
+    wanted = set(names)
+    unknown = wanted - {r.name for r in rules} - {r.pack for r in rules}
+    if unknown:
+        known = ", ".join(sorted({r.name for r in rules} | {r.pack for r in rules}))
+        raise ValueError(f"unknown rule(s) {sorted(unknown)}; options: {known}")
+    return [r for r in rules if r.name in wanted or r.pack in wanted]
+
+
+def rule_packs() -> dict[str, list[Rule]]:
+    """Rules grouped by pack id."""
+    packs: dict[str, list[Rule]] = {}
+    for rule in all_rules():
+        packs.setdefault(rule.pack, []).append(rule)
+    return packs

@@ -1,0 +1,334 @@
+"""Index-space rule pack: global vertex ids vs. owned-local slots.
+
+PR 3 moved every engine's per-vertex state into owned-local index space;
+global ids survive only on the wire, in shared read-only tables
+(``owner``), and in :class:`~repro.partition.localmap.LocalIndexMap`
+translations.  Mixing the two spaces is silent — both are int64 arrays —
+so these rules track which space an expression's *values* are in and
+which space an array is *indexed by*, from three sources:
+
+* naming conventions — ``*_local`` / ``local_*`` names hold local ids,
+  ``*_global`` / ``global_*`` names hold global ids;
+* annotation comments — ``# repro: index-space: dist[local],
+  targets=global`` (see :mod:`repro.lint.context`);
+* propagation — assignments, subscripting (filtering an id array keeps
+  its space), space-preserving numpy calls, and the translators
+  themselves (``to_local`` yields local, ``to_global`` yields global).
+
+The inference is deliberately conservative: a finding requires *both*
+sides of a mismatch to be known, so unannotated code stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import GLOBAL, LOCAL, LintModule
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+__all__ = ["name_key", "convention_space"]
+
+#: Method names that translate between the spaces, and their output space.
+_TRANSLATORS = {"to_local": LOCAL, "to_global": GLOBAL}
+
+#: Methods whose first positional argument must be *global* vertex ids
+#: (the LocalIndexMap / DelegateTable / CSRGraph global-space surface).
+_GLOBAL_ID_APIS = ("contains", "slots_of", "extract_rows", "is_hub")
+
+#: scatter-style calls: (array, index, values) — index must match the
+#: array's declared index domain.
+_SCATTER_CALLS = ("scatter_min",)
+_SCATTER_UFUNC_AT = ("np.minimum.at", "np.maximum.at", "np.add.at", "np.subtract.at")
+
+#: Calls through which an id array keeps its value space (arg 0).
+_SPACE_PRESERVING_NP = ("np.unique", "np.sort", "np.asarray", "np.ascontiguousarray")
+_SPACE_PRESERVING_METHODS = ("astype", "copy")
+
+
+def name_key(node: ast.AST) -> str | None:
+    """Dotted name of a Name/Attribute chain (``self.dist``), else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def convention_space(key: str) -> str | None:
+    """Space implied by the naming convention, or None."""
+    last = key.rsplit(".", 1)[-1]
+    for space in (LOCAL, GLOBAL):
+        if last == space or last.endswith(f"_{space}") or last.startswith(f"{space}_"):
+            return space
+    return None
+
+
+class _FunctionScan:
+    """Flow-ordered scan of one function: inference plus mismatch checks.
+
+    ``env`` records spaces established by assignments; names it does not
+    hold fall back to annotations, then to the naming convention.  An
+    assignment whose right side has unknown space *removes* the name from
+    ``env`` (the scope-wide annotation, if any, keeps applying — it is a
+    contract, not a snapshot).
+    """
+
+    def __init__(self, module: LintModule, scope_idx: int, func: ast.AST) -> None:
+        self.module = module
+        self.scope_idx = scope_idx
+        self.func = func
+        self.env: dict[str, str | None] = {}
+        self.out: list[tuple[str, ast.AST, str]] = []
+
+    # -- space inference ---------------------------------------------------
+
+    def lookup(self, key: str) -> str | None:
+        if key in self.env:
+            return self.env[key]
+        annotated = self.module.annotations.value_space_of(key, self.scope_idx)
+        return annotated if annotated is not None else convention_space(key)
+
+    def space_of(self, expr: ast.AST) -> str | None:
+        key = name_key(expr)
+        if key is not None:
+            return self.lookup(key)
+        if isinstance(expr, ast.Subscript):
+            # Filtering/selecting from an id array keeps its value space
+            # (this is also exactly what ``owned[local_ids]`` does).
+            if isinstance(expr.slice, (ast.Slice, ast.Tuple)):
+                return self.space_of(expr.value)
+            return self.space_of(expr.value)
+        if isinstance(expr, ast.Call):
+            fkey = name_key(expr.func)
+            attr = expr.func.attr if isinstance(expr.func, ast.Attribute) else None
+            if attr in _TRANSLATORS:
+                return _TRANSLATORS[attr]
+            if fkey in _SPACE_PRESERVING_NP and expr.args:
+                return self.space_of(expr.args[0])
+            if attr in _SPACE_PRESERVING_METHODS and isinstance(expr.func, ast.Attribute):
+                return self.space_of(expr.func.value)
+            return None
+        if isinstance(expr, ast.IfExp):
+            a, b = self.space_of(expr.body), self.space_of(expr.orelse)
+            return a if a == b else None
+        return None
+
+    def domain_of(self, expr: ast.AST) -> str | None:
+        key = name_key(expr)
+        if key is None:
+            return None
+        return self.module.annotations.index_domain_of(key, self.scope_idx)
+
+    # -- checks ------------------------------------------------------------
+
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.out.append((rule, node, message))
+
+    def check_expr(self, expr: ast.AST | None) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Subscript):
+                self._check_subscript(node)
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+
+    def _mismatch(self, node: ast.AST, what: str, dom: str, space: str) -> None:
+        if dom == LOCAL and space == GLOBAL:
+            self.emit(
+                "index-global-into-local",
+                node,
+                f"{what} is indexed by owned-local slots but the index "
+                f"expression holds global vertex ids; translate with "
+                f"LocalIndexMap.to_local first",
+            )
+        elif dom == GLOBAL and space == LOCAL:
+            self.emit(
+                "index-local-into-global",
+                node,
+                f"{what} is indexed by global vertex ids but the index "
+                f"expression holds owned-local slots; translate with "
+                f"LocalIndexMap.to_global first",
+            )
+
+    def _check_subscript(self, node: ast.Subscript) -> None:
+        dom = self.domain_of(node.value)
+        if dom is None or isinstance(node.slice, (ast.Slice, ast.Tuple)):
+            return
+        space = self.space_of(node.slice)
+        if space is not None and space != dom:
+            self._mismatch(node, name_key(node.value) or "array", dom, space)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        fkey = name_key(func)
+        arg0 = node.args[0] if node.args else None
+        if attr in _TRANSLATORS and arg0 is not None:
+            inner = arg0
+            inner_attr = (
+                inner.func.attr
+                if isinstance(inner, ast.Call) and isinstance(inner.func, ast.Attribute)
+                else None
+            )
+            if inner_attr in _TRANSLATORS and inner_attr != attr:
+                self.emit(
+                    "index-roundtrip",
+                    node,
+                    f"{inner_attr}() immediately wrapped in {attr}() is an "
+                    f"identity round trip; drop both translations",
+                )
+            elif self.space_of(arg0) == _TRANSLATORS[attr]:
+                self.emit(
+                    "index-roundtrip",
+                    node,
+                    f"argument of {attr}() already holds "
+                    f"{_TRANSLATORS[attr]}-space ids; the translation is "
+                    f"redundant (or the tag is wrong)",
+                )
+        if attr in _GLOBAL_ID_APIS and arg0 is not None:
+            if self.space_of(arg0) == LOCAL:
+                self.emit(
+                    "index-local-into-global",
+                    node,
+                    f"{attr}() takes global vertex ids but the argument "
+                    f"holds owned-local slots; translate with "
+                    f"LocalIndexMap.to_global first",
+                )
+        scatter = (
+            fkey is not None
+            and (fkey.rsplit(".", 1)[-1] in _SCATTER_CALLS or fkey in _SCATTER_UFUNC_AT)
+        )
+        if scatter and len(node.args) >= 2:
+            dom = self.domain_of(node.args[0])
+            space = self.space_of(node.args[1])
+            if dom is not None and space is not None and space != dom:
+                self._mismatch(node, name_key(node.args[0]) or "array", dom, space)
+
+    # -- statement processing ----------------------------------------------
+
+    def run(self) -> list[tuple[str, ast.AST, str]]:
+        body = getattr(self.func, "body", [])
+        self._block(body)
+        return self.out
+
+    def _clear_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._clear_target(elt)
+            return
+        key = name_key(target)
+        if key is not None:
+            self.env.pop(key, None)
+
+    def _assign(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            self._clear_target(target)
+            return
+        key = name_key(target)
+        if key is None:
+            return
+        space = self.space_of(value)
+        if space is None:
+            self.env.pop(key, None)
+        else:
+            self.env[key] = space
+
+    def _block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are scanned separately
+            if isinstance(stmt, ast.Assign):
+                self.check_expr(stmt.value)
+                for t in stmt.targets:
+                    self.check_expr(t)
+                    self._assign(t, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                self.check_expr(stmt.value)
+                self.check_expr(stmt.target)
+                if stmt.value is not None:
+                    self._assign(stmt.target, stmt.value)
+            elif isinstance(stmt, ast.AugAssign):
+                # In-place mutation does not rebind the name's space.
+                self.check_expr(stmt.value)
+                self.check_expr(stmt.target)
+            elif isinstance(stmt, ast.If):
+                self.check_expr(stmt.test)
+                self._block(stmt.body)
+                self._block(stmt.orelse)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.check_expr(stmt.iter)
+                self._clear_target(stmt.target)
+                self._block(stmt.body)
+                self._block(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self.check_expr(stmt.test)
+                self._block(stmt.body)
+                self._block(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self.check_expr(item.context_expr)
+                    if item.optional_vars is not None:
+                        self._clear_target(item.optional_vars)
+                self._block(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._block(stmt.body)
+                for handler in stmt.handlers:
+                    self._block(handler.body)
+                self._block(stmt.orelse)
+                self._block(stmt.finalbody)
+            else:
+                # Return/Expr/Assert/Raise/Delete/...: check every
+                # expression they contain.
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self.check_expr(child)
+
+
+def _scan_module(module: LintModule) -> list[tuple[str, ast.AST, str]]:
+    """All index-space findings of a module (cached — three rules share it)."""
+    cached = getattr(module, "_index_scan", None)
+    if cached is None:
+        cached = []
+        for scope_idx, func in module.functions:
+            cached.extend(_FunctionScan(module, scope_idx, func).run())
+        module._index_scan = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _IndexRule(Rule):
+    pack = "index"
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for rule_name, node, message in _scan_module(module):
+            if rule_name == self.name:
+                yield self.finding(module, node, message)
+
+
+@register
+class IndexGlobalIntoLocal(_IndexRule):
+    name = "index-global-into-local"
+    description = (
+        "untranslated global vertex ids index an owned-local array "
+        "(dist/parent/dist_row-class state)"
+    )
+
+
+@register
+class IndexLocalIntoGlobal(_IndexRule):
+    name = "index-local-into-global"
+    description = (
+        "owned-local slots index a global-space array or feed a "
+        "global-id API (to_local, contains, slots_of, extract_rows, is_hub)"
+    )
+
+
+@register
+class IndexRoundTrip(_IndexRule):
+    name = "index-roundtrip"
+    description = "redundant LocalIndexMap.to_local/to_global translation"

@@ -32,6 +32,8 @@ class LocalIndexMap:
 
     __slots__ = ("owned", "size", "_lo", "_contiguous")
 
+    # repro: index-space: self.owned[local]=global
+
     def __init__(self, owned: np.ndarray) -> None:
         owned = np.ascontiguousarray(owned, dtype=np.int64)
         if owned.size and np.any(np.diff(owned) <= 0):
@@ -55,6 +57,7 @@ class LocalIndexMap:
         non-owned ids returns garbage slots (checked variants go through
         :meth:`locate`).
         """
+        # repro: index-space: vertices=global
         vertices = np.asarray(vertices, dtype=np.int64)
         if self._contiguous:
             return vertices - self._lo
@@ -62,6 +65,7 @@ class LocalIndexMap:
 
     def to_global(self, local_ids: np.ndarray) -> np.ndarray:
         """Global id of each local slot."""
+        # repro: index-space: local_ids=local
         local_ids = np.asarray(local_ids, dtype=np.int64)
         if self._contiguous:
             return local_ids + self._lo
@@ -69,6 +73,7 @@ class LocalIndexMap:
 
     def contains(self, vertices: np.ndarray) -> np.ndarray:
         """Boolean mask: which global ids are owned by this map."""
+        # repro: index-space: vertices=global
         vertices = np.asarray(vertices, dtype=np.int64)
         if self._contiguous:
             return (vertices >= self._lo) & (vertices < self._lo + self.size)

@@ -33,16 +33,19 @@ from repro.simmpi.machine import (
     small_cluster,
     sunway_exascale,
 )
+from repro.simmpi.sanitizer import FabricSanitizer, SanitizerViolation
 from repro.simmpi.topology import Topology
 from repro.simmpi.trace import CommTrace
 
 __all__ = [
     "CommTrace",
     "Fabric",
+    "FabricSanitizer",
     "FaultPlan",
     "FaultSpec",
     "MachineSpec",
     "Message",
+    "SanitizerViolation",
     "SimClock",
     "Topology",
     "UndeliverableMessageError",

@@ -19,6 +19,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.clock import SimClock
 from repro.simmpi.faults import FaultPlan, FaultSpec, UndeliverableMessageError
 from repro.simmpi.machine import MachineSpec
+from repro.simmpi.sanitizer import FabricSanitizer
 from repro.simmpi.topology import Topology
 from repro.simmpi.trace import CommTrace
 
@@ -95,6 +96,14 @@ class Fabric:
     engines' answers are bit-identical with faults on or off; only the
     modeled time, the ``faults`` clock component and the retransmission
     accounting change.  ``faults=None`` costs one attribute check.
+
+    ``sanitize=True`` attaches a
+    :class:`~repro.simmpi.sanitizer.FabricSanitizer` that audits every
+    collective for schema matching, message conservation, NaN reductions
+    and no-progress livelock, raising
+    :class:`~repro.simmpi.sanitizer.SanitizerViolation` on the first
+    broken invariant and mirroring it as a ``cat="sanitizer"`` tracer
+    event.  ``sanitize=False`` costs one attribute check per collective.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class Fabric:
         hierarchical: bool = False,
         tracer: Tracer | None = None,
         faults: FaultPlan | FaultSpec | str | None = None,
+        sanitize: bool = False,
     ) -> None:
         self.machine = machine
         self.topology = Topology(machine, num_ranks)
@@ -132,6 +142,15 @@ class Fabric:
                 self._beta_faulty = self._beta * self.faults.link_beta_factor
             else:
                 self._beta_faulty = self._beta
+        self.sanitizer: FabricSanitizer | None = None
+        if sanitize:
+            self.sanitizer = FabricSanitizer(num_ranks, tracer=self.tracer)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "enabled",
+                    cat="sanitizer",
+                    deadlock_threshold=self.sanitizer.deadlock_threshold,
+                )
 
     # -- data movement ----------------------------------------------------
 
@@ -191,7 +210,12 @@ class Fabric:
                 messages=msg_count,
                 **fault_tags,
             )
-        return [Message.concat(msgs) for msgs in inbound]
+        delivered = [Message.concat(msgs) for msgs in inbound]
+        if self.sanitizer is not None:
+            self.sanitizer.check_exchange(
+                self.trace.supersteps - 1, inbound, delivered, fault_tags
+            )
+        return delivered
 
     def _direct_step_cost(
         self, bytes_matrix: np.ndarray, beta: np.ndarray | None = None
@@ -368,6 +392,8 @@ class Fabric:
         ops = {"sum": np.sum, "min": np.min, "max": np.max}
         if op not in ops:
             raise ValueError(f"unsupported allreduce op {op!r}")
+        if self.sanitizer is not None:
+            self.sanitizer.check_allreduce(values, op)
         self.clock.charge("sync", 2.0 * self.topology.barrier_cost())
         self.trace.allreduces += 1
         if self.tracer.enabled:
@@ -430,7 +456,12 @@ class Fabric:
         self.clock.charge("sync", self.topology.barrier_cost())
         self.trace.barriers += 1
         gathered = Message.concat(nonempty) if nonempty else None
-        return [gathered for _ in range(self.num_ranks)]
+        delivered = [gathered for _ in range(self.num_ranks)]
+        if self.sanitizer is not None:
+            self.sanitizer.check_allgather(
+                self.trace.supersteps - 1, contributions, delivered
+            )
+        return delivered
 
     # -- compute charging ----------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""The perf-regression gate must fail loudly, not crash, on bad baselines."""
+
+import json
+
+import pytest
+
+from repro.analysis.perfbench import check_regression
+from repro.cli import main
+
+CURRENT = {"engines": {"dist1d": {"wall_seconds": 1.0}}}
+
+BENCH = ["bench", "--scale", "8", "--ranks", "2", "--engines", "dist1d"]
+
+
+class TestCheckRegression:
+    def test_passes_within_tolerance(self):
+        baseline = {"engines": {"dist1d": {"wall_seconds": 0.9}}}
+        assert check_regression(CURRENT, baseline, max_regression=0.30) == []
+
+    def test_flags_a_regression(self):
+        baseline = {"engines": {"dist1d": {"wall_seconds": 0.5}}}
+        failures = check_regression(CURRENT, baseline, max_regression=0.30)
+        assert len(failures) == 1
+        assert "exceeds baseline" in failures[0]
+
+    def test_flags_engine_missing_from_current(self):
+        baseline = {
+            "engines": {
+                "dist1d": {"wall_seconds": 1.0},
+                "bfs": {"wall_seconds": 1.0},
+            }
+        }
+        failures = check_regression(CURRENT, baseline)
+        assert failures == ["bfs: missing from current run"]
+
+    @pytest.mark.parametrize(
+        "baseline",
+        [
+            {},
+            [],
+            {"engines": {}},
+            {"engines": "oops"},
+            {"something_else": 1},
+        ],
+    )
+    def test_document_without_engines_raises(self, baseline):
+        with pytest.raises(ValueError, match="non-empty 'engines' mapping"):
+            check_regression(CURRENT, baseline)
+
+    @pytest.mark.parametrize("wall", [None, "fast", 0, -1.0, [1.0]])
+    def test_bad_wall_seconds_raises(self, wall):
+        baseline = {"engines": {"dist1d": {"wall_seconds": wall}}}
+        with pytest.raises(ValueError, match="wall_seconds must be a positive"):
+            check_regression(CURRENT, baseline)
+
+    def test_engine_entry_not_a_dict_raises(self):
+        baseline = {"engines": {"dist1d": 3.5}}
+        with pytest.raises(ValueError, match="wall_seconds"):
+            check_regression(CURRENT, baseline)
+
+
+class TestBenchCheckCli:
+    """Exit codes of ``repro bench --check``: 2 = unusable baseline."""
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        rc = main(BENCH + ["--check", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "baseline not found" in capsys.readouterr().err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        rc = main(BENCH + ["--check", str(bad)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_malformed_document_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"engines": {}}))
+        rc = main(BENCH + ["--check", str(bad)])
+        assert rc == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+    def test_generous_baseline_passes(self, tmp_path, capsys):
+        ok = tmp_path / "baseline.json"
+        ok.write_text(json.dumps({"engines": {"dist1d": {"wall_seconds": 1e6}}}))
+        rc = main(BENCH + ["--check", str(ok)])
+        assert rc == 0
+        assert "within 30%" in capsys.readouterr().err

@@ -1,0 +1,200 @@
+"""Dtype-width rule pack: narrow id casts, loop astype, hand-rolled byte math."""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestNarrowIdCast:
+    def test_unguarded_vertex_cast_fires(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def pack(vertices):
+                return vertices.astype(np.uint32)
+            """,
+            rules=["dtype-narrow-id"],
+        )
+        assert rules_of(findings) == ["dtype-narrow-id"]
+        assert "np.iinfo" in findings[0].message
+
+    def test_string_dtype_fires_too(self, lint):
+        findings = lint(
+            """
+            def pack(targets):
+                return targets.astype("int32")
+            """,
+            rules=["dtype-narrow-id"],
+        )
+        assert rules_of(findings) == ["dtype-narrow-id"]
+
+    def test_iinfo_guard_in_function_exempts(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def pack(vertices):
+                if vertices.size and vertices.max() > np.iinfo(np.uint32).max:
+                    raise OverflowError("vertex ids exceed 32 bits")
+                return vertices.astype(np.uint32)
+            """,
+            rules=["dtype-narrow-id"],
+        )
+        assert findings == []
+
+    def test_module_level_iinfo_guard_exempts(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            _MAX_PACKED = np.iinfo(np.uint32).max
+
+            def pack(vertices):
+                return vertices.astype(np.uint32)
+            """,
+            rules=["dtype-narrow-id"],
+        )
+        assert findings == []
+
+    def test_non_id_name_is_clean(self, lint):
+        # Rank ids legitimately fit 32 bits; the rule keys on id-like names.
+        findings = lint(
+            """
+            import numpy as np
+
+            def compress(owner):
+                return owner.astype(np.int32)
+            """,
+            rules=["dtype-narrow-id"],
+        )
+        assert findings == []
+
+    def test_widening_cast_is_clean(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def widen(vertices):
+                return vertices.astype(np.int64)
+            """,
+            rules=["dtype"],
+        )
+        assert findings == []
+
+
+class TestLoopAstype:
+    def test_loop_invariant_astype_fires(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def run(weights, steps):
+                for _ in range(steps):
+                    w = weights.astype(np.float32)
+            """,
+            rules=["dtype-loop-astype"],
+        )
+        assert rules_of(findings) == ["dtype-loop-astype"]
+        assert "hoist" in findings[0].message
+
+    def test_loop_carried_base_is_clean(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def run(chunks):
+                for chunk in chunks:
+                    frontier = chunk.compute()
+                    out = frontier.astype(np.int64)
+            """,
+            rules=["dtype-loop-astype"],
+        )
+        assert findings == []
+
+    def test_subscripted_base_is_clean(self, lint):
+        # A slice like st[lo:hi] varies with loop state; only a plain name
+        # can be proven loop-invariant.
+        findings = lint(
+            """
+            import numpy as np
+
+            def run(st, cuts):
+                for lo, hi in cuts:
+                    out = st[lo:hi].astype(np.float64)
+            """,
+            rules=["dtype-loop-astype"],
+        )
+        assert findings == []
+
+
+class TestByteMath:
+    def test_hardcoded_width_fires(self, lint):
+        findings = lint(
+            """
+            def cost(arr):
+                nbytes = arr.size * 8
+                return nbytes
+            """,
+            rules=["dtype-byte-math"],
+        )
+        assert rules_of(findings) == ["dtype-byte-math"]
+        assert "nbytes" in findings[0].message
+
+    def test_len_times_width_fires(self, lint):
+        findings = lint(
+            """
+            def cost(items):
+                wire_bytes = 4 * len(items)
+                return wire_bytes
+            """,
+            rules=["dtype-byte-math"],
+        )
+        assert rules_of(findings) == ["dtype-byte-math"]
+
+    def test_augassign_accumulation_fires(self, lint):
+        findings = lint(
+            """
+            def cost(arrs):
+                total_bytes = 0
+                for a in arrs:
+                    total_bytes += a.size * 8
+                return total_bytes
+            """,
+            rules=["dtype-byte-math"],
+        )
+        assert rules_of(findings) == ["dtype-byte-math"]
+
+    def test_itemsize_math_is_clean(self, lint):
+        findings = lint(
+            """
+            def cost(arr):
+                nbytes = arr.size * arr.dtype.itemsize
+                return nbytes + arr.nbytes
+            """,
+            rules=["dtype-byte-math"],
+        )
+        assert findings == []
+
+    def test_non_byte_target_is_clean(self, lint):
+        # The magnitude * 8 could be anything; only byte-named targets count.
+        findings = lint(
+            """
+            def scale(arr):
+                octaves = arr.size * 8
+                return octaves
+            """,
+            rules=["dtype-byte-math"],
+        )
+        assert findings == []
+
+
+class TestKnownGoodEngines:
+    def test_wire_packing_is_clean(self, lint):
+        for rel in ("core/coalescing.py", "simmpi/fabric.py"):
+            source = (SRC / rel).read_text()
+            assert lint(source, rules=["dtype"]) == [], rel

@@ -1,0 +1,194 @@
+"""Index-space rule pack: seeded-bad snippets fire, engine idiom stays silent."""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestGlobalIntoLocal:
+    def test_annotated_local_array_indexed_by_global_ids(self, lint):
+        findings = lint(
+            """
+            def relax(dist, targets):
+                # repro: index-space: dist[local], targets=global
+                dist[targets] = 0.0
+            """,
+            rules=["index-global-into-local"],
+        )
+        assert rules_of(findings) == ["index-global-into-local"]
+        assert "to_local" in findings[0].message
+
+    def test_convention_name_supplies_the_space(self, lint):
+        # No =global tag needed: *_global names carry global ids by convention.
+        findings = lint(
+            """
+            def relax(dist, targets_global):
+                # repro: index-space: dist[local]
+                dist[targets_global] = 0.0
+            """,
+            rules=["index-global-into-local"],
+        )
+        assert rules_of(findings) == ["index-global-into-local"]
+
+    def test_scatter_ufunc_checked(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            def relax(dist, targets, vals):
+                # repro: index-space: dist[local], targets=global
+                np.minimum.at(dist, targets, vals)
+            """,
+            rules=["index-global-into-local"],
+        )
+        assert rules_of(findings) == ["index-global-into-local"]
+
+    def test_translated_index_is_clean(self, lint):
+        findings = lint(
+            """
+            def relax(dist, lmap, targets):
+                # repro: index-space: dist[local], targets=global
+                slots = lmap.to_local(targets)
+                dist[slots] = 0.0
+            """,
+            rules=["index"],
+        )
+        assert findings == []
+
+    def test_subscript_filtering_keeps_value_space(self, lint):
+        # targets[mask] still holds global ids -> mismatch survives a filter.
+        findings = lint(
+            """
+            def relax(dist, targets, mask):
+                # repro: index-space: dist[local], targets=global
+                dist[targets[mask]] = 0.0
+            """,
+            rules=["index-global-into-local"],
+        )
+        assert rules_of(findings) == ["index-global-into-local"]
+
+    def test_unknown_space_stays_silent(self, lint):
+        # Conservative by design: no tag, no convention -> no finding.
+        findings = lint(
+            """
+            def relax(dist, idx):
+                # repro: index-space: dist[local]
+                dist[idx] = 0.0
+            """,
+            rules=["index"],
+        )
+        assert findings == []
+
+
+class TestLocalIntoGlobal:
+    def test_local_slots_index_global_array(self, lint):
+        findings = lint(
+            """
+            def owners_of(owner, slots_local):
+                # repro: index-space: owner[global]
+                return owner[slots_local]
+            """,
+            rules=["index-local-into-global"],
+        )
+        assert rules_of(findings) == ["index-local-into-global"]
+        assert "to_global" in findings[0].message
+
+    def test_local_slots_into_global_id_api(self, lint):
+        findings = lint(
+            """
+            def check(lmap, frontier_local):
+                return lmap.contains(frontier_local)
+            """,
+            rules=["index-local-into-global"],
+        )
+        assert rules_of(findings) == ["index-local-into-global"]
+
+    def test_global_ids_into_global_id_api_is_clean(self, lint):
+        findings = lint(
+            """
+            def check(lmap, targets):
+                # repro: index-space: targets=global
+                return lmap.contains(targets)
+            """,
+            rules=["index"],
+        )
+        assert findings == []
+
+
+class TestRoundTrip:
+    def test_to_global_of_to_local(self, lint):
+        findings = lint(
+            """
+            def ship(lmap, vertices):
+                return lmap.to_global(lmap.to_local(vertices))
+            """,
+            rules=["index-roundtrip"],
+        )
+        assert rules_of(findings) == ["index-roundtrip"]
+        assert "identity" in findings[0].message
+
+    def test_translating_already_local_ids(self, lint):
+        findings = lint(
+            """
+            def ship(lmap, frontier_local):
+                return lmap.to_local(frontier_local)
+            """,
+            rules=["index-roundtrip"],
+        )
+        assert rules_of(findings) == ["index-roundtrip"]
+        assert "redundant" in findings[0].message
+
+    def test_legitimate_translation_is_clean(self, lint):
+        findings = lint(
+            """
+            def ship(lmap, targets):
+                # repro: index-space: targets=global
+                return lmap.to_local(targets)
+            """,
+            rules=["index"],
+        )
+        assert findings == []
+
+
+class TestReassignmentFlow:
+    def test_rebinding_updates_the_inferred_space(self, lint):
+        # ``targets`` starts global, is rebound to local slots; indexing the
+        # local array with the rebound name must be clean.
+        findings = lint(
+            """
+            def relax(dist, lmap, targets):
+                # repro: index-space: dist[local], targets=global
+                targets = lmap.to_local(targets)
+                dist[targets] = 0.0
+            """,
+            rules=["index"],
+        )
+        assert findings == []
+
+    def test_unknown_rebinding_clears_inference_not_annotation(self, lint):
+        # After ``targets = mystery()`` the env forgets the name, but the
+        # scope annotation is a contract and keeps applying.
+        findings = lint(
+            """
+            def relax(dist, targets, mystery):
+                # repro: index-space: dist[local], targets=global
+                targets = mystery()
+                dist[targets] = 0.0
+            """,
+            rules=["index"],
+        )
+        assert rules_of(findings) == ["index-global-into-local"]
+
+
+class TestKnownGoodEngines:
+    def test_owned_local_engine_is_clean(self, lint):
+        source = (SRC / "core" / "dist_sssp.py").read_text()
+        assert lint(source, rules=["index"]) == []
+
+    def test_localmap_is_clean(self, lint):
+        source = (SRC / "partition" / "localmap.py").read_text()
+        assert lint(source, rules=["index"]) == []

@@ -1,0 +1,111 @@
+"""Suppression comments: same-line, standalone, file-wide, and the all wildcard."""
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestSameLine:
+    def test_trailing_disable_silences_that_line(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=det-wallclock
+            """
+        )
+        assert findings == []
+
+    def test_trailing_disable_names_the_wrong_rule(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=det-unseeded-rng
+            """
+        )
+        assert rules_of(findings) == ["det-wallclock"]
+
+    def test_comma_list_silences_multiple_rules(self, lint):
+        findings = lint(
+            """
+            import time
+            import numpy as np
+
+            def stamp(arr):
+                np.random.shuffle(arr); return time.time()  # repro-lint: disable=det-wallclock, det-unseeded-rng
+            """
+        )
+        assert findings == []
+
+
+class TestStandalone:
+    def test_standalone_comment_guards_the_next_line(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                # repro-lint: disable=det-wallclock
+                return time.time()
+            """
+        )
+        assert findings == []
+
+    def test_standalone_comment_does_not_leak_further(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                # repro-lint: disable=det-wallclock
+                a = 1
+                return time.time()
+            """
+        )
+        assert rules_of(findings) == ["det-wallclock"]
+
+
+class TestFileWideAndWildcard:
+    def test_disable_file_covers_every_occurrence(self, lint):
+        findings = lint(
+            """
+            # repro-lint: disable-file=det-wallclock
+            import time
+
+            def stamp():
+                return time.time()
+
+            def stamp2():
+                return time.time()
+            """
+        )
+        assert findings == []
+
+    def test_disable_all_silences_every_rule_on_the_line(self, lint):
+        findings = lint(
+            """
+            import time
+            import numpy as np
+
+            def stamp(arr):
+                np.random.shuffle(arr); return time.time()  # repro-lint: disable=all
+            """
+        )
+        assert findings == []
+
+    def test_file_wide_disable_leaves_other_rules_alone(self, lint):
+        findings = lint(
+            """
+            # repro-lint: disable-file=det-wallclock
+            import time
+            import numpy as np
+
+            def stamp(arr):
+                np.random.shuffle(arr)
+                return time.time()
+            """
+        )
+        assert rules_of(findings) == ["det-unseeded-rng"]
