@@ -1,0 +1,104 @@
+"""P2 — paired wall-clock of the rank-execution backends.
+
+Times every engine under every rank-execution backend (serial, thread,
+process) on the same graph and source, min-of-N, and embeds the
+serial-relative speedups.  The answers are bit-identical across backends
+(pinned by ``tests/integration/test_executor_equivalence.py``); each
+entry also carries a sha256 of its answer arrays so the document itself
+witnesses that.
+
+The thread backend overlaps the engines' GIL-releasing numpy kernels on
+real cores; the process backend additionally pays shared-memory
+transport per barrier.  Speedups therefore only mean anything relative
+to the recorded ``host_cpus`` — on a single-core host every parallel
+backend is pure overhead, which the committed document reports honestly
+rather than hiding.
+
+Usage:
+
+    # Full protocol (the committed headline numbers):
+    python benchmarks/bench_p2_parallel.py --scale 16 --ranks 32 \
+        --workers 4 --repeats 5 --out benchmarks/results/BENCH_P2.json
+
+    # CI parallel-smoke: small scale, gate on the committed baseline:
+    python benchmarks/bench_p2_parallel.py --scale 10 --ranks 8 \
+        --repeats 3 --check benchmarks/results/BENCH_P2_smoke.json
+
+``--check`` exits non-zero if any (engine, backend) pair's wall-clock
+regresses more than ``--max-regression`` (default 50% — parallel timings
+on shared CI runners are noisy) past the baseline document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.perfbench import (
+    DEFAULT_BACKENDS,
+    DEFAULT_ENGINES,
+    check_regression,
+    dump_json,
+    load_json,
+    run_parallel_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--ranks", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--engines", nargs="+", default=list(DEFAULT_ENGINES), choices=DEFAULT_ENGINES
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=list(DEFAULT_BACKENDS),
+        choices=DEFAULT_BACKENDS,
+    )
+    parser.add_argument("--out", default=None, help="write the JSON document here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (CI parallel-smoke mode)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.50)
+    args = parser.parse_args(argv)
+
+    doc = run_parallel_bench(
+        args.scale,
+        args.ranks,
+        engines=tuple(args.engines),
+        backends=tuple(args.backends),
+        workers=args.workers,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"parallel-smoke OK (within {args.max_regression:.0%} of {args.check})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,9 @@ the tolerance.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 import tracemalloc
 from typing import Any
@@ -35,14 +37,40 @@ import numpy as np
 from repro import api
 from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.kronecker import generate_kronecker
+from repro.simmpi.executor import RankExecutor, resolve_executor
 
-__all__ = ["bench_engine", "run_bench", "check_regression", "DEFAULT_ENGINES"]
+__all__ = [
+    "bench_engine",
+    "run_bench",
+    "run_parallel_bench",
+    "check_regression",
+    "DEFAULT_ENGINES",
+    "DEFAULT_BACKENDS",
+]
 
 DEFAULT_ENGINES = ("dist1d", "dist2d", "bfs")
+DEFAULT_BACKENDS = ("serial", "thread", "process")
 
 
-def _run_once(graph: CSRGraph, source: int, engine: str, num_ranks: int):
-    return api.run(graph, source, engine=engine, num_ranks=num_ranks)
+def _run_once(
+    graph: CSRGraph,
+    source: int,
+    engine: str,
+    num_ranks: int,
+    executor: RankExecutor | None = None,
+):
+    return api.run(graph, source, engine=engine, num_ranks=num_ranks, executor=executor)
+
+
+def _result_sha256(result: Any) -> str:
+    """Digest of the answer arrays — the bit-identity receipt in the doc."""
+    h = hashlib.sha256()
+    if hasattr(result, "dist"):
+        h.update(np.ascontiguousarray(result.dist).tobytes())
+    else:
+        h.update(np.ascontiguousarray(result.parent).tobytes())
+        h.update(np.ascontiguousarray(result.level).tobytes())
+    return h.hexdigest()
 
 
 def bench_engine(
@@ -51,33 +79,55 @@ def bench_engine(
     engine: str,
     num_ranks: int,
     repeats: int = 1,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
+    trace_memory: bool = True,
+    digest: bool = False,
 ) -> dict[str, Any]:
-    """Measure one engine: wall seconds, memory peaks, modeled outputs."""
-    _run_once(graph, source, engine, num_ranks)  # warm-up, untimed
-    wall = []
-    run = None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        run = _run_once(graph, source, engine, num_ranks)
-        wall.append(time.perf_counter() - t0)
-    tracemalloc.start()
-    _run_once(graph, source, engine, num_ranks)
-    _, traced_peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    out: dict[str, Any] = {
-        "wall_seconds": min(wall),
-        "wall_seconds_all": wall,
-        "tracemalloc_peak_bytes": int(traced_peak),
-        "modeled_time": float(run.modeled_time),
-        "total_bytes": int(run.comm.get("total_bytes", 0)),
-        "counters": {
-            k: int(v) for k, v in sorted(run.result.counters.as_dict().items())
-        },
-    }
-    rank_state = run.meta.get("rank_state")
-    if rank_state is not None:
-        out["rank_state"] = {k: int(v) for k, v in rank_state.items()}
-    return out
+    """Measure one engine: wall seconds, memory peaks, modeled outputs.
+
+    ``executor``/``workers`` select the rank-execution backend; the warm-up
+    run also warms the backend's worker pool so pool spin-up never lands in
+    a timed repeat.  ``trace_memory=False`` skips the tracemalloc pass (the
+    P2 protocol times wall-clock only).  ``digest=True`` adds a sha256 of
+    the answer arrays so the document itself witnesses bit-identity.
+    """
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    try:
+        _run_once(graph, source, engine, num_ranks, exec_obj)  # warm-up, untimed
+        wall = []
+        run = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            run = _run_once(graph, source, engine, num_ranks, exec_obj)
+            wall.append(time.perf_counter() - t0)
+        out: dict[str, Any] = {
+            "wall_seconds": min(wall),
+            "wall_seconds_all": wall,
+            "modeled_time": float(run.modeled_time),
+            "total_bytes": int(run.comm.get("total_bytes", 0)),
+            "counters": {
+                k: int(v) for k, v in sorted(run.result.counters.as_dict().items())
+            },
+        }
+        if trace_memory:
+            tracemalloc.start()
+            _run_once(graph, source, engine, num_ranks, exec_obj)
+            _, traced_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            out["tracemalloc_peak_bytes"] = int(traced_peak)
+        if digest:
+            out["result_sha256"] = _result_sha256(run.result)
+        executor_meta = run.meta.get("executor")
+        if executor_meta is not None:
+            out["executor"] = dict(executor_meta)
+        rank_state = run.meta.get("rank_state")
+        if rank_state is not None:
+            out["rank_state"] = {k: int(v) for k, v in rank_state.items()}
+        return out
+    finally:
+        if owns_executor:
+            exec_obj.close()
 
 
 def run_bench(
@@ -105,6 +155,64 @@ def run_bench(
         doc["engines"][engine] = bench_engine(
             graph, source, engine, num_ranks, repeats=repeats
         )
+    return doc
+
+
+def run_parallel_bench(
+    scale: int,
+    num_ranks: int,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    workers: int = 4,
+    repeats: int = 5,
+    seed: int = 2022,
+) -> dict[str, Any]:
+    """Run the P2 parallel-backend protocol; returns a JSON-ready document.
+
+    Every (engine, backend) pair is timed with :func:`bench_engine` on the
+    same graph/source; entries land under ``engines["{engine}@{backend}"]``
+    so :func:`check_regression` gates the document unchanged.  A
+    ``speedup`` section records ``serial_wall / backend_wall`` per pair,
+    and ``host_cpus`` records how many cores the measurement actually had —
+    thread/process speedups are only meaningful relative to it.
+    """
+    graph = build_csr(generate_kronecker(scale, seed=seed))
+    source = int(np.argmax(graph.out_degree))
+    doc: dict[str, Any] = {
+        "benchmark": "P2_parallel",
+        "scale": scale,
+        "num_ranks": num_ranks,
+        "seed": seed,
+        "source": source,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "repeats": repeats,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "engines": {},
+        "speedup": {},
+    }
+    for engine in engines:
+        serial_wall: float | None = None
+        for backend in backends:
+            entry = bench_engine(
+                graph,
+                source,
+                engine,
+                num_ranks,
+                repeats=repeats,
+                executor=backend,
+                workers=None if backend == "serial" else workers,
+                trace_memory=False,
+                digest=True,
+            )
+            doc["engines"][f"{engine}@{backend}"] = entry
+            if backend == "serial":
+                serial_wall = entry["wall_seconds"]
+            elif serial_wall is not None:
+                doc["speedup"][f"{engine}@{backend}"] = (
+                    serial_wall / entry["wall_seconds"]
+                )
     return doc
 
 

@@ -37,6 +37,7 @@ from repro.core.twod_engine import _distributed_sssp_2d
 from repro.bfs.dist_bfs import _distributed_bfs
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer
+from repro.simmpi.executor import RankExecutor
 from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec
 
@@ -117,7 +118,8 @@ class SharedRun:
 
 
 def _run_dist1d(
-    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    executor, workers, **extra
 ):
     _reject_extra("dist1d", extra)
     return _distributed_sssp(
@@ -129,11 +131,14 @@ def _run_dist1d(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
     )
 
 
 def _run_dist2d(
-    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    executor, workers, **extra
 ):
     grid = extra.pop("grid", None)
     _reject_extra("dist2d", extra)
@@ -147,11 +152,14 @@ def _run_dist2d(
         config=config,
         faults=faults,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
     )
 
 
 def _run_bfs(
-    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    executor, workers, **extra
 ):
     if config is not None:
         raise ValueError(
@@ -170,12 +178,15 @@ def _run_bfs(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
         **extra,
     )
 
 
 def _run_shared(
-    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize, **extra
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    executor, workers, **extra
 ):
     if machine is not None:
         raise ValueError(
@@ -191,6 +202,12 @@ def _run_shared(
         raise ValueError(
             "engine 'shared' has no fabric to sanitize; sanitize=True "
             "requires a distributed engine (dist1d, dist2d, bfs)"
+        )
+    if executor is not None or workers is not None:
+        raise ValueError(
+            "engine 'shared' runs in-process with no simulated ranks to "
+            "parallelize; executor=/workers= require a distributed engine "
+            "(dist1d, dist2d, bfs)"
         )
     max_phases = extra.pop("max_phases", None)
     _reject_extra("shared", extra)
@@ -231,6 +248,8 @@ def run(
     faults: FaultPlan | FaultSpec | str | None = None,
     tracer: Tracer | None = None,
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
     **engine_kwargs,
 ) -> RunSummary:
     """Run one traversal on the simulated machine via the unified facade.
@@ -260,6 +279,16 @@ def run(
             :class:`~repro.simmpi.sanitizer.SanitizerViolation` and the
             audit summary lands in ``result.meta["sanitizer"]``.  Not
             applicable to ``shared`` (no fabric).
+        executor: rank-execution backend — ``"serial"`` (default, inline),
+            ``"thread"`` (persistent thread pool over the GIL-releasing
+            numpy phases), ``"process"`` (forked workers with
+            shared-memory transport), or a prebuilt
+            :class:`~repro.simmpi.executor.RankExecutor` to share a pool
+            across runs.  Distances, modeled time and comm bytes are
+            bit-identical across backends.  Not applicable to ``shared``
+            (no simulated ranks).
+        workers: pool size for a string ``executor`` spec (default: the
+            host's CPU count).
         **engine_kwargs: engine-specific extras — ``grid=(r, c)`` for
             ``dist2d``; ``direction=``, ``partition=``, ``hierarchical=``,
             ``alpha=``, ``beta=`` for ``bfs``; ``max_phases=`` for
@@ -283,5 +312,7 @@ def run(
         faults=faults,
         tracer=tracer,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
         **engine_kwargs,
     )

@@ -27,6 +27,7 @@ from repro.core.relaxation import frontier_edges
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, block1d_edge_balanced
+from repro.simmpi.executor import RankExecutor, resolve_executor
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -177,6 +178,17 @@ class _BFSRank:
 
     # -- bottom-up ----------------------------------------------------------
 
+    def bitmap_contribution(self) -> Message:
+        """Pack this rank's owned frontier range to bits for the allgather."""
+        width = self.range_hi - self.range_lo
+        bits = np.zeros(width, dtype=bool)
+        if self.frontier.size:
+            bits[self.frontier] = True
+        packed = np.packbits(bits) if width else np.empty(0, dtype=np.uint8)
+        payload = Message(bitmap=packed)
+        self.step_bytes += payload.nbytes
+        return payload
+
     def bottom_up_level(self, global_frontier: np.ndarray, depth: int) -> None:
         """Scan unvisited owned rows against the global frontier bitmap."""
         unvisited = np.flatnonzero(self.parent == _NO_PARENT)
@@ -186,6 +198,22 @@ class _BFSRank:
         self.step_edges += scanned
         self.level[found] = depth
         self.frontier = found
+
+    def frontier_size(self) -> int:
+        return int(self.frontier.size)
+
+    def frontier_edge_count(self) -> float:
+        return float(self.local_graph.out_degree[self.frontier].sum())
+
+    def export_final(self) -> dict:
+        """Final per-rank payload gathered by the driver after the loop."""
+        return {
+            "parent": self.parent,
+            "level": self.level,
+            "nbytes": self.state_nbytes(),
+            "graph_nbytes": self.graph_payload_nbytes(),
+            "lengths": self.state_array_lengths(),
+        }
 
     def take_step_work(self) -> tuple[int, int]:
         work = (self.step_edges, self.step_bytes)
@@ -263,6 +291,8 @@ def _distributed_bfs(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
 ) -> DistBFSRun:
     """Distributed BFS; returns levels/parents identical to the shared kernel's
     reachability and validated by :func:`repro.bfs.validation.validate_bfs`.
@@ -271,7 +301,9 @@ def _distributed_bfs(
     fabric's per-exchange byte events.  ``faults`` (optional) injects a
     deterministic fault schedule at the fabric (drops with ack/retry,
     delays, stalls, degraded links); the tree is unchanged, only modeled
-    time and the retransmission accounting.
+    time and the retransmission accounting.  ``executor``/``workers`` select
+    the rank-execution backend (serial, thread, or process) for the per-rank
+    compute phases; the tree is bit-identical across backends.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -309,73 +341,96 @@ def _distributed_bfs(
     src_rank.level[src_local] = 0
     src_rank.frontier = np.array([src_local], dtype=np.int64)
 
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    team = exec_obj.team(ranks, tracer=tracer)
+
     depth = 0
     bottom_up = direction == "bottom_up"
     unexplored = float(graph.num_edges)
     levels_bottom_up = 0
     levels_top_down = 0
 
-    while True:
-        frontier_sizes = np.array([float(r.frontier.size) for r in ranks])
-        total_frontier = fabric.allreduce(frontier_sizes, op="sum")
-        if total_frontier == 0:
-            break
-        depth += 1
-        frontier_edge_counts = np.array(
-            [float(r.local_graph.out_degree[r.frontier].sum()) for r in ranks]
-        )
-        total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
-        unexplored -= total_frontier_edges
-        if direction == "auto":
-            if not bottom_up and total_frontier_edges * alpha > max(unexplored, 1.0):
-                bottom_up = True
-            elif bottom_up and total_frontier * beta < n:
-                bottom_up = False
-        with tracer.span(
-            "level",
-            cat="engine",
-            phase="bottom_up" if bottom_up else "top_down",
-            epoch=depth,
-            frontier=int(total_frontier),
-        ) as sp:
-            if bottom_up:
-                levels_bottom_up += 1
-                # Allgather the frontier bitmap: every rank contributes its
-                # owned range packed to bits; the collective costs
-                # alpha*log2(P) + n/8 bytes per rank — the trick that makes
-                # bottom-up affordable.
-                global_bits = np.zeros(n, dtype=bool)
-                contributions: list[Message | None] = []
-                for r in ranks:
-                    width = r.range_hi - r.range_lo
-                    bits = np.zeros(width, dtype=bool)
-                    if r.frontier.size:
-                        bits[r.frontier] = True
-                    global_bits[r.range_lo : r.range_hi] = bits
-                    packed = (
-                        np.packbits(bits) if width else np.empty(0, dtype=np.uint8)
+    try:
+        while True:
+            frontier_sizes = np.array(
+                team.call("frontier_size"), dtype=np.float64
+            )
+            total_frontier = fabric.allreduce(frontier_sizes, op="sum")
+            if total_frontier == 0:
+                break
+            depth += 1
+            frontier_edge_counts = np.array(
+                team.call("frontier_edge_count"), dtype=np.float64
+            )
+            total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
+            unexplored -= total_frontier_edges
+            if direction == "auto":
+                if not bottom_up and total_frontier_edges * alpha > max(
+                    unexplored, 1.0
+                ):
+                    bottom_up = True
+                elif bottom_up and total_frontier * beta < n:
+                    bottom_up = False
+            with tracer.span(
+                "level",
+                cat="engine",
+                phase="bottom_up" if bottom_up else "top_down",
+                epoch=depth,
+                frontier=int(total_frontier),
+            ) as sp:
+                if bottom_up:
+                    levels_bottom_up += 1
+                    # Allgather the frontier bitmap: every rank contributes
+                    # its owned range packed to bits; the collective costs
+                    # alpha*log2(P) + n/8 bytes per rank — the trick that
+                    # makes bottom-up affordable.
+                    contributions = team.call("bitmap_contribution", parallel=True)
+                    global_bits = np.zeros(n, dtype=bool)
+                    for r, payload in zip(ranks, contributions):
+                        # Rank ranges are ctor-set and immutable, so the
+                        # driver's (possibly pre-fork) copies are accurate;
+                        # packbits/unpackbits round-trips exactly.
+                        width = r.range_hi - r.range_lo
+                        if width:
+                            global_bits[r.range_lo : r.range_hi] = np.unpackbits(
+                                payload["bitmap"], count=width
+                            ).astype(bool)
+                    fabric.allgather(contributions)
+                    team.call(
+                        "bottom_up_level", common=(global_bits, depth), parallel=True
                     )
-                    payload = Message(bitmap=packed)
-                    r.step_bytes += payload.nbytes
-                    contributions.append(payload)
-                fabric.allgather(contributions)
-                for r in ranks:
-                    r.bottom_up_level(global_bits, depth)
-            else:
-                levels_top_down += 1
-                outboxes = [r.expand_top_down(depth) for r in ranks]
-                inboxes = fabric.exchange(outboxes)
-                for r, inbox in zip(ranks, inboxes):
-                    r.apply_claims(inbox, depth)
-            work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
-            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
-            sp.tag(edges=int(work[:, 0].sum()), bytes=int(work[:, 1].sum()))
+                else:
+                    levels_top_down += 1
+                    outboxes = team.call(
+                        "expand_top_down", common=(depth,), parallel=True
+                    )
+                    inboxes = fabric.exchange(outboxes)
+                    team.call(
+                        "apply_claims",
+                        per_rank=[(m,) for m in inboxes],
+                        common=(depth,),
+                        parallel=True,
+                    )
+                work = np.array(team.call("take_step_work"), dtype=np.float64)
+                fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+                critical_path, sum_of_ranks = team.take_step_timing()
+                sp.tag(
+                    edges=int(work[:, 0].sum()),
+                    bytes=int(work[:, 1].sum()),
+                    critical_path=critical_path,
+                    sum_of_ranks=sum_of_ranks,
+                )
+        exports = team.call("export_final")
+    finally:
+        team.close()
+        if owns_executor:
+            exec_obj.close()
 
     parent = np.full(n, _NO_PARENT, dtype=np.int64)
     level = np.full(n, -1, dtype=np.int64)
-    for r in ranks:
-        parent[r.owned] = r.parent
-        level[r.owned] = r.level
+    for r, export in zip(ranks, exports):
+        parent[r.owned] = export["parent"]
+        level[r.owned] = export["level"]
     result = BFSResult(source=source, parent=parent, level=level)
     result.counters.add("levels", depth)
     result.counters.add("levels_top_down", levels_top_down)
@@ -392,9 +447,9 @@ def _distributed_bfs(
         result.counters.add("rank_stalls", fabric.trace.stalls)
     if fabric.sanitizer is not None:
         result.meta["sanitizer"] = fabric.sanitizer.report()
-    rank_bytes = [r.state_nbytes() for r in ranks]
-    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
-    rank_lengths = [r.state_array_lengths() for r in ranks]
+    rank_bytes = [e["nbytes"] for e in exports]
+    rank_state_only = [e["nbytes"] - e["graph_nbytes"] for e in exports]
+    rank_lengths = [e["lengths"] for e in exports]
     return DistBFSRun(
         result=result,
         num_ranks=num_ranks,
@@ -403,6 +458,7 @@ def _distributed_bfs(
         trace_summary=fabric.trace.summary(),
         work_imbalance=fabric.compute_imbalance("edges"),
         meta={
+            "executor": {"backend": team.backend, "workers": team.num_workers},
             "rank_state": {
                 "max_bytes": max(rank_bytes),
                 "total_bytes": sum(rank_bytes),

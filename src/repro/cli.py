@@ -31,6 +31,27 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=2022)
 
 
+def _add_executor(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help=(
+            "rank-execution backend for per-rank compute phases (results "
+            "are bit-identical across backends)"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker pool size for --executor thread/process "
+            "(default: the host CPU count)"
+        ),
+    )
+
+
 def _parse_faults_arg(text: str | None):
     """Parse ``--faults`` early so a typo fails before the benchmark runs."""
     if not text:
@@ -70,6 +91,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         engine=args.engine,
         sanitize=args.sanitize,
+        executor=args.executor,
+        workers=args.workers,
     )
     print(render_output_block(result))
     if faults is not None:
@@ -137,32 +160,39 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.graph.csr import build_csr
     from repro.graph.kronecker import generate_kronecker
     from repro.graph500.report import render_table
+    from repro.simmpi.executor import resolve_executor
 
     faults = _parse_faults_arg(args.faults)
     graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
     src = int(np.argmax(graph.out_degree))
+    exec_obj, owns_executor = resolve_executor(args.executor, args.workers)
     rows = []
     ok = True
-    for direction in ("top_down", "auto"):
-        run = api.run(
-            graph,
-            src,
-            engine="bfs",
-            num_ranks=args.ranks,
-            direction=direction,
-            faults=faults,
-            sanitize=args.sanitize,
-        )
-        ok &= validate_bfs(graph, run.result).ok
-        rows.append(
-            {
-                "direction": direction,
-                "edges_inspected": run.result.counters["edges_inspected"],
-                "levels": run.result.counters["levels"],
-                "sim_s": run.simulated_seconds,
-                "TEPS": run.teps(graph),
-            }
-        )
+    try:
+        for direction in ("top_down", "auto"):
+            run = api.run(
+                graph,
+                src,
+                engine="bfs",
+                num_ranks=args.ranks,
+                direction=direction,
+                faults=faults,
+                sanitize=args.sanitize,
+                executor=exec_obj,
+            )
+            ok &= validate_bfs(graph, run.result).ok
+            rows.append(
+                {
+                    "direction": direction,
+                    "edges_inspected": run.result.counters["edges_inspected"],
+                    "levels": run.result.counters["levels"],
+                    "sim_s": run.simulated_seconds,
+                    "TEPS": run.teps(graph),
+                }
+            )
+    finally:
+        if owns_executor:
+            exec_obj.close()
     print(render_table(rows, title=f"BFS (scale {args.scale}, {args.ranks} ranks)"))
     print(f"validation: {'PASSED' if ok else 'FAILED'}")
     return 0 if ok else 1
@@ -225,15 +255,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         dump_json,
         load_json,
         run_bench,
+        run_parallel_bench,
     )
 
-    doc = run_bench(
-        args.scale,
-        args.ranks,
-        engines=tuple(args.engines),
-        repeats=args.repeats,
-        seed=args.seed,
-    )
+    if args.parallel:
+        doc = run_parallel_bench(
+            args.scale,
+            args.ranks,
+            engines=tuple(args.engines),
+            backends=tuple(args.backends),
+            workers=args.workers if args.workers is not None else 4,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    else:
+        doc = run_bench(
+            args.scale,
+            args.ranks,
+            engines=tuple(args.engines),
+            repeats=args.repeats,
+            seed=args.seed,
+        )
     print(json.dumps(doc, indent=1, sort_keys=True))
     if args.out:
         dump_json(doc, args.out)
@@ -368,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
             "message conservation, no-progress detection); violations abort"
         ),
     )
+    _add_executor(p_run)
     p_run.add_argument(
         "--trace-out", default=None, help="write the telemetry stream as JSONL"
     )
@@ -399,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit every fabric collective at runtime (see 'run --sanitize')",
     )
+    _add_executor(p_bfs)
     p_bfs.set_defaults(func=_cmd_bfs)
 
     p_abl = sub.add_parser("ablation", help="optimization ablation table")
@@ -426,6 +470,27 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["dist1d", "dist2d", "bfs"],
         choices=("dist1d", "dist2d", "bfs"),
+    )
+    p_bench.add_argument(
+        "--parallel",
+        action="store_true",
+        help=(
+            "run the P2 parallel-backend protocol instead: time each "
+            "engine under every --backends entry and embed speedups"
+        ),
+    )
+    p_bench.add_argument(
+        "--backends",
+        nargs="+",
+        default=["serial", "thread", "process"],
+        choices=("serial", "thread", "process"),
+        help="rank-execution backends to time (with --parallel)",
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for thread/process backends (default: 4)",
     )
     p_bench.add_argument("--out", default=None, help="write the JSON document here")
     p_bench.add_argument(

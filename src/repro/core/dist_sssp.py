@@ -49,6 +49,7 @@ from repro.partition import (
     block1d_edge_balanced,
     hashed1d,
 )
+from repro.simmpi.executor import RankExecutor, resolve_executor
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -164,6 +165,15 @@ class _Rank:
 
     def bucket_live(self, k: int) -> bool:
         return self.buckets.live_count(k) > 0
+
+    def bucket_live_count(self, k: int) -> int:
+        return int(self.buckets.live_count(k))
+
+    def take_pending_announcements(self) -> bool:
+        """Return and reset whether this rank queued a hub announcement."""
+        pending = self.has_pending_announcements
+        self.has_pending_announcements = False
+        return pending
 
     # -- candidate routing ---------------------------------------------------
 
@@ -449,6 +459,19 @@ class _Rank:
             total += self.delegates.adj.nbytes + self.delegates.weight.nbytes
         return int(total)
 
+    def export_final(self) -> dict:
+        """Everything the driver needs after the last superstep.
+
+        Rank state may live in a worker process, so the final read-out is
+        a team call like any other phase.
+        """
+        return {
+            "dist": self.dist,
+            "nbytes": self.state_nbytes(),
+            "graph_nbytes": self.graph_payload_nbytes(),
+            "lengths": self.state_array_lengths(),
+        }
+
 
 @dataclass
 class DistSSSPRun:
@@ -540,6 +563,8 @@ def _distributed_sssp(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
 ) -> DistSSSPRun:
     """Run distributed ∆-stepping SSSP on a simulated machine.
 
@@ -555,6 +580,11 @@ def _distributed_sssp(
     fabric (drops with ack/retry, delays, stalls, degraded links); the
     distances stay bit-identical, only modeled time and the retransmission
     accounting change.
+
+    ``executor`` (optional) selects the rank-execution backend —
+    ``"serial"`` (default), ``"thread"``, ``"process"``, or a prebuilt
+    :class:`~repro.simmpi.executor.RankExecutor`; ``workers`` sizes a
+    string-specified pool.  Results are bit-identical across backends.
     """
     if tracer is None:
         tracer = NULL_TRACER
@@ -621,13 +651,20 @@ def _distributed_sssp(
     src_rank.dist[src_local] = 0.0
     src_rank.buckets.insert(np.array([src_local], dtype=np.int64))
 
+    # The team owns where rank methods execute (inline, thread pool, or
+    # forked workers).  It is built after seeding so the process backend's
+    # fork inherits the seeded state; from here on every rank interaction
+    # goes through the team — the parent's rank objects may be stale copies.
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    team = exec_obj.team(ranks, tracer=tracer)
+
     epochs = 0
     light_supersteps = 0
     heavy_rounds = 0
 
     def _charge_step() -> tuple[int, int, int]:
         """Charge compute; return global (edges, bucket_ops, bytes) totals."""
-        work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
+        work = np.array(team.call("take_step_work"), dtype=np.float64)
         fabric.charge_compute(
             edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
         )
@@ -635,11 +672,15 @@ def _distributed_sssp(
         return int(totals[0]), int(totals[1]), int(totals[2])
 
     def _exchange_round(announcements: bool) -> None:
-        """One communication phase: flush, exchange, process on arrival."""
-        outboxes = [r.flush_outbox(n, announcements) for r in ranks]
+        """One communication phase: flush, exchange, process on arrival.
+
+        Flush and inbox processing are independent per-rank compute; the
+        exchange between them is the superstep's barrier and stays in the
+        driver, in canonical rank order, whatever the backend.
+        """
+        outboxes = team.call("flush_outbox", common=(n, announcements), parallel=True)
         inboxes = fabric.exchange(outboxes)
-        for r, inbox in zip(ranks, inboxes):
-            r.process_inbox(inbox)
+        team.call("process_inbox", per_rank=[(m,) for m in inboxes], parallel=True)
 
     def _announcement_round_needed() -> bool:
         """Whether any rank queued a hub announcement this superstep.
@@ -648,43 +689,73 @@ def _distributed_sssp(
         on the preceding allreduce.  Skipping the empty broadcast phase
         avoids charging a barrier for nothing.
         """
-        needed = any(r.has_pending_announcements for r in ranks)
-        for r in ranks:
-            r.has_pending_announcements = False
-        return needed
+        return any(team.call("take_pending_announcements"))
 
-    while True:
-        kmins = np.array([r.local_min_bucket() for r in ranks])
-        # Termination allreduce: min over local minimum buckets.
-        kmin = fabric.allreduce(np.where(np.isfinite(kmins), kmins, 1e300), op="min")
-        if kmin >= 1e300:
-            break
-        k = int(kmin)
-        epochs += 1
-        for r in ranks:
-            r.start_epoch()
-        with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
-            # ---- light phases.  Each superstep: local drain/relax, then the
-            # announcement broadcast phase (delegation only), then the update
-            # exchange.  Updates are applied on arrival, so after the exchange
-            # the only live state is bucket membership — which the termination
-            # allreduce checks directly.
-            while True:
-                frontier_total = (
-                    int(sum(r.buckets.live_count(k) for r in ranks))
-                    if tracer.enabled
-                    else 0
-                )
+    try:
+        while True:
+            kmins = np.array(team.call("local_min_bucket"))
+            # Termination allreduce: min over local minimum buckets.
+            kmin = fabric.allreduce(
+                np.where(np.isfinite(kmins), kmins, 1e300), op="min"
+            )
+            if kmin >= 1e300:
+                break
+            k = int(kmin)
+            epochs += 1
+            team.call("start_epoch")
+            with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
+                # ---- light phases.  Each superstep: local drain/relax, then
+                # the announcement broadcast phase (delegation only), then the
+                # update exchange.  Updates are applied on arrival, so after
+                # the exchange the only live state is bucket membership —
+                # which the termination allreduce checks directly.
+                while True:
+                    frontier_total = (
+                        int(sum(team.call("bucket_live_count", common=(k,))))
+                        if tracer.enabled
+                        else 0
+                    )
+                    with tracer.span(
+                        "superstep",
+                        cat="engine",
+                        phase="light",
+                        epoch=epochs,
+                        bucket=k,
+                        frontier=frontier_total,
+                    ) as sp:
+                        team.call("relax_bucket", common=(k,), parallel=True)
+                        if (
+                            config.delegate_hubs
+                            and hubs.size
+                            and _announcement_round_needed()
+                        ):
+                            _exchange_round(announcements=True)
+                        _exchange_round(announcements=False)
+                        edges, bucket_ops, step_bytes = _charge_step()
+                        critical_path, sum_of_ranks = team.take_step_timing()
+                        sp.tag(
+                            edges=edges,
+                            bucket_ops=bucket_ops,
+                            bytes=step_bytes,
+                            critical_path=critical_path,
+                            sum_of_ranks=sum_of_ranks,
+                        )
+                    if tracer.enabled:
+                        metrics.histogram("frontier_size").observe(frontier_total)
+                        metrics.histogram("superstep_bytes").observe(step_bytes)
+                    light_supersteps += 1
+                    live = np.array(
+                        team.call("bucket_live", common=(k,)), dtype=np.float64
+                    )
+                    if not fabric.allreduce_any(live):
+                        break
+                # ---- heavy phase: one announcement round (delegation only)
+                # plus one update round; heavy results only land in later
+                # buckets, so no iteration is needed.
                 with tracer.span(
-                    "superstep",
-                    cat="engine",
-                    phase="light",
-                    epoch=epochs,
-                    bucket=k,
-                    frontier=frontier_total,
+                    "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
                 ) as sp:
-                    for r in ranks:
-                        r.relax_bucket(k)
+                    team.call("emit_heavy", parallel=True)
                     if (
                         config.delegate_hubs
                         and hubs.size
@@ -693,38 +764,31 @@ def _distributed_sssp(
                         _exchange_round(announcements=True)
                     _exchange_round(announcements=False)
                     edges, bucket_ops, step_bytes = _charge_step()
-                    sp.tag(edges=edges, bucket_ops=bucket_ops, bytes=step_bytes)
+                    critical_path, sum_of_ranks = team.take_step_timing()
+                    sp.tag(
+                        edges=edges,
+                        bucket_ops=bucket_ops,
+                        bytes=step_bytes,
+                        critical_path=critical_path,
+                        sum_of_ranks=sum_of_ranks,
+                    )
                 if tracer.enabled:
-                    metrics.histogram("frontier_size").observe(frontier_total)
                     metrics.histogram("superstep_bytes").observe(step_bytes)
-                light_supersteps += 1
-                live = np.array([r.bucket_live(k) for r in ranks], dtype=np.float64)
-                if not fabric.allreduce_any(live):
-                    break
-            # ---- heavy phase: one announcement round (delegation only) plus
-            # one update round; heavy results only land in later buckets, so no
-            # iteration is needed.
-            with tracer.span(
-                "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
-            ) as sp:
-                for r in ranks:
-                    r.emit_heavy()
-                if config.delegate_hubs and hubs.size and _announcement_round_needed():
-                    _exchange_round(announcements=True)
-                _exchange_round(announcements=False)
-                edges, bucket_ops, step_bytes = _charge_step()
-                sp.tag(edges=edges, bucket_ops=bucket_ops, bytes=step_bytes)
-            if tracer.enabled:
-                metrics.histogram("superstep_bytes").observe(step_bytes)
-            heavy_rounds += 1
+                heavy_rounds += 1
+
+        exports = team.call("export_final")
+    finally:
+        team.close()
+        if owns_executor:
+            exec_obj.close()
 
     # ---- assemble the global answer -------------------------------------
     # Each rank's dist vector is owned-local, so the gather is one direct
     # scatter per rank — no dense per-rank indexing.
-    # repro: index-space: dist[global], r.owned=global, r.dist[local]
+    # repro: index-space: dist[global], r.owned=global
     dist = np.full(n, _INF, dtype=np.float64)
-    for r in ranks:
-        dist[r.owned] = r.dist
+    for r, export in zip(ranks, exports):
+        dist[r.owned] = export["dist"]
     result = SSSPResult(
         source=source,
         dist=dist,
@@ -760,9 +824,11 @@ def _distributed_sssp(
         )
         metrics.absorb_counters(result.counters)
         tracer.emit_metrics("engine", metrics.snapshot())
-    rank_bytes = [r.state_nbytes() for r in ranks]
-    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
-    rank_lengths = [r.state_array_lengths() for r in ranks]
+    rank_bytes = [export["nbytes"] for export in exports]
+    rank_state_only = [
+        export["nbytes"] - export["graph_nbytes"] for export in exports
+    ]
+    rank_lengths = [export["lengths"] for export in exports]
     return DistSSSPRun(
         result=result,
         config=config,
@@ -776,6 +842,7 @@ def _distributed_sssp(
         step_bytes=list(fabric.trace.step_bytes),
         meta={
             "partition": partition.kind,
+            "executor": {"backend": team.backend, "workers": team.num_workers},
             "rank_state": {
                 "max_bytes": max(rank_bytes),
                 "total_bytes": sum(rank_bytes),

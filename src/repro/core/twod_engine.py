@@ -33,6 +33,7 @@ from repro.core.result import SSSPResult, derive_parents
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition import block1d, block1d_edge_balanced, make_grid
+from repro.simmpi.executor import RankExecutor, resolve_executor
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec, small_cluster
@@ -298,6 +299,18 @@ class _GridRank:
         self.step_bytes = 0
         return work
 
+    def frontier_size(self) -> int:
+        return int(self.frontier.size)
+
+    def export_final(self) -> dict:
+        """Final per-rank payload gathered by the driver after the loop."""
+        return {
+            "owned_dist": self.dist_row[self.owned - self.row_lo],
+            "nbytes": self.state_nbytes(),
+            "graph_nbytes": self.graph_payload_nbytes(),
+            "lengths": self.state_array_lengths(),
+        }
+
     def state_array_lengths(self) -> dict[str, int]:
         """Length of every resident per-vertex array this rank holds."""
         return {
@@ -353,6 +366,8 @@ def _distributed_sssp_2d(
     config: SSSPConfig | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
 ) -> TwoDRun:
     """Exact SSSP with 2-D frontier relaxation on a process grid.
 
@@ -360,6 +375,10 @@ def _distributed_sssp_2d(
     ``tracer`` (optional) receives round spans and per-exchange events.
     ``faults`` (optional) injects a deterministic fault schedule at the
     fabric; answers are unchanged, only modeled time and retry accounting.
+    ``executor``/``workers`` select the rank-execution backend (serial,
+    thread, or process) that runs the per-rank compute phases; results are
+    bit-identical across backends because ranks share no mutable state and
+    every exchange gathers in canonical rank order.
 
     ``config`` (optional) applies the :class:`SSSPConfig` knobs that are
     meaningful to a frontier engine: ``partition`` (vertex ownership),
@@ -438,42 +457,65 @@ def _distributed_sssp_2d(
     src_rank.dist_row[source - src_rank.row_lo] = 0.0
     src_rank.frontier = np.array([source - src_rank.row_lo], dtype=np.int64)
 
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    team = exec_obj.team(ranks, tracer=tracer)
+
     rounds = 0
     max_partners = 0
-    while True:
-        active = np.array([float(r.frontier.size) for r in ranks])
-        total_active = fabric.allreduce(active, op="sum")
-        if total_active == 0:
-            break
-        rounds += 1
-        with tracer.span(
-            "round",
-            cat="engine",
-            phase="frontier",
-            epoch=rounds,
-            frontier=int(total_active),
-        ) as sp:
-            # Phase 1: row broadcast of owned frontiers.
-            bcast = [r.broadcast_frontier() for r in ranks]
-            max_partners = max(max_partners, max((len(o) for o in bcast), default=0))
-            inboxes = fabric.exchange(bcast)
-            for r, inbox in zip(ranks, inboxes):
-                r.receive_frontier(inbox)
-            # Phase 2: block relaxation + column reduce to owners.
-            reduce_out = [r.relax_block() for r in ranks]
-            max_partners = max(
-                max_partners, max((len(o) for o in reduce_out), default=0)
-            )
-            inboxes = fabric.exchange(reduce_out)
-            for r, inbox in zip(ranks, inboxes):
-                r.receive_candidates(inbox)
-            work = np.array([r.take_step_work() for r in ranks], dtype=np.float64)
-            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
-            sp.tag(edges=int(work[:, 0].sum()), bytes=int(work[:, 1].sum()))
+    try:
+        while True:
+            active = np.array(team.call("frontier_size"), dtype=np.float64)
+            total_active = fabric.allreduce(active, op="sum")
+            if total_active == 0:
+                break
+            rounds += 1
+            with tracer.span(
+                "round",
+                cat="engine",
+                phase="frontier",
+                epoch=rounds,
+                frontier=int(total_active),
+            ) as sp:
+                # Phase 1: row broadcast of owned frontiers.
+                bcast = team.call("broadcast_frontier", parallel=True)
+                max_partners = max(
+                    max_partners, max((len(o) for o in bcast), default=0)
+                )
+                inboxes = fabric.exchange(bcast)
+                team.call(
+                    "receive_frontier",
+                    per_rank=[(m,) for m in inboxes],
+                    parallel=True,
+                )
+                # Phase 2: block relaxation + column reduce to owners.
+                reduce_out = team.call("relax_block", parallel=True)
+                max_partners = max(
+                    max_partners, max((len(o) for o in reduce_out), default=0)
+                )
+                inboxes = fabric.exchange(reduce_out)
+                team.call(
+                    "receive_candidates",
+                    per_rank=[(m,) for m in inboxes],
+                    parallel=True,
+                )
+                work = np.array(team.call("take_step_work"), dtype=np.float64)
+                fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+                critical_path, sum_of_ranks = team.take_step_timing()
+                sp.tag(
+                    edges=int(work[:, 0].sum()),
+                    bytes=int(work[:, 1].sum()),
+                    critical_path=critical_path,
+                    sum_of_ranks=sum_of_ranks,
+                )
+        exports = team.call("export_final")
+    finally:
+        team.close()
+        if owns_executor:
+            exec_obj.close()
 
     dist = np.full(n, _INF, dtype=np.float64)
-    for r in ranks:
-        dist[r.owned] = r.dist_row[r.owned - r.row_lo]
+    for r, export in zip(ranks, exports):
+        dist[r.owned] = export["owned_dist"]
     result = SSSPResult(
         source=source, dist=dist, parent=derive_parents(graph, dist, source)
     )
@@ -494,9 +536,9 @@ def _distributed_sssp_2d(
         result.counters.add("rank_stalls", fabric.trace.stalls)
     if fabric.sanitizer is not None:
         result.meta["sanitizer"] = fabric.sanitizer.report()
-    rank_bytes = [r.state_nbytes() for r in ranks]
-    rank_state_only = [r.state_nbytes() - r.graph_payload_nbytes() for r in ranks]
-    rank_lengths = [r.state_array_lengths() for r in ranks]
+    rank_bytes = [e["nbytes"] for e in exports]
+    rank_state_only = [e["nbytes"] - e["graph_nbytes"] for e in exports]
+    rank_lengths = [e["lengths"] for e in exports]
     return TwoDRun(
         result=result,
         rows=rows,
@@ -506,6 +548,7 @@ def _distributed_sssp_2d(
         trace_summary=fabric.trace.summary(),
         max_partners_per_rank=max_partners,
         meta={
+            "executor": {"backend": team.backend, "workers": team.num_workers},
             "rank_state": {
                 "max_bytes": max(rank_bytes),
                 "total_bytes": sum(rank_bytes),

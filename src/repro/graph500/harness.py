@@ -26,6 +26,7 @@ from repro.graph500.teps import teps_summary
 from repro.graph500.validation import ValidationReport, validate_sssp
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simmpi.executor import RankExecutor, resolve_executor
 from repro.simmpi.machine import MachineSpec, small_cluster
 from repro.utils.stats import Summary
 from repro.utils.timing import Timer
@@ -106,52 +107,62 @@ def run_sssp_on_graph(
     faults: object = None,
     engine: str = "dist1d",
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
 ) -> list[RootRun]:
     """Kernel-3 loop: one distributed run per root, each validated.
 
     ``faults`` (a spec/plan/CLI string, see :mod:`repro.simmpi.faults`)
     injects the same deterministic fault schedule into every root's fabric;
     ``engine`` selects the distributed SSSP engine (``dist1d``/``dist2d``).
+    ``executor``/``workers`` select the rank-execution backend; the backend
+    is resolved once and its worker pool is shared across all roots.
     """
     if tracer is None:
         tracer = NULL_TRACER
+    exec_obj, owns_executor = resolve_executor(executor, workers)
     runs: list[RootRun] = []
-    for index, root in enumerate(roots):
-        # Each root gets a fresh fabric (and simulated clock); detach the
-        # previous one so the root span doesn't straddle two clocks.
-        tracer.use_sim_clock(None)
-        with tracer.span("root", cat="harness", root=int(root), index=index):
-            run = api.run(
-                graph,
-                int(root),
-                engine=engine,
-                num_ranks=num_ranks,
-                machine=machine,
-                config=config,
-                faults=faults,
-                tracer=tracer,
-                sanitize=sanitize,
-            )
-            traversed = run.result.traversed_edges(graph)
-            with tracer.span("validation", cat="harness", root=int(root)):
-                report = (
-                    validate_sssp(graph, run.result)
-                    if validate
-                    else ValidationReport(ok=True, failures=[])
+    try:
+        for index, root in enumerate(roots):
+            # Each root gets a fresh fabric (and simulated clock); detach the
+            # previous one so the root span doesn't straddle two clocks.
+            tracer.use_sim_clock(None)
+            with tracer.span("root", cat="harness", root=int(root), index=index):
+                run = api.run(
+                    graph,
+                    int(root),
+                    engine=engine,
+                    num_ranks=num_ranks,
+                    machine=machine,
+                    config=config,
+                    faults=faults,
+                    tracer=tracer,
+                    sanitize=sanitize,
+                    executor=exec_obj,
                 )
-        runs.append(
-            RootRun(
-                root=int(root),
-                simulated_seconds=run.modeled_time,
-                teps=traversed / run.modeled_time,
-                traversed_edges=traversed,
-                validation=report,
-                counters=run.result.counters.as_dict(),
-                time_breakdown=run.time_breakdown,
-                trace=run.comm,
-                work_imbalance=getattr(run, "work_imbalance", 1.0),
+                traversed = run.result.traversed_edges(graph)
+                with tracer.span("validation", cat="harness", root=int(root)):
+                    report = (
+                        validate_sssp(graph, run.result)
+                        if validate
+                        else ValidationReport(ok=True, failures=[])
+                    )
+            runs.append(
+                RootRun(
+                    root=int(root),
+                    simulated_seconds=run.modeled_time,
+                    teps=traversed / run.modeled_time,
+                    traversed_edges=traversed,
+                    validation=report,
+                    counters=run.result.counters.as_dict(),
+                    time_breakdown=run.time_breakdown,
+                    trace=run.comm,
+                    work_imbalance=getattr(run, "work_imbalance", 1.0),
+                )
             )
-        )
+    finally:
+        if owns_executor:
+            exec_obj.close()
     return runs
 
 
@@ -168,6 +179,8 @@ def run_graph500_sssp(
     faults: object = None,
     engine: str = "dist1d",
     sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
 ) -> BenchmarkResult:
     """Run the complete Graph500 SSSP benchmark at the given scale.
 
@@ -178,7 +191,9 @@ def run_graph500_sssp(
     fabric (answers are unchanged; TEPS degrade by the modeled retry cost);
     ``engine`` selects the distributed engine (``dist1d``/``dist2d``);
     ``sanitize`` audits every fabric collective at runtime (see
-    :class:`~repro.simmpi.sanitizer.FabricSanitizer`).
+    :class:`~repro.simmpi.sanitizer.FabricSanitizer`); ``executor`` /
+    ``workers`` select the rank-execution backend (serial/thread/process),
+    resolved once and shared across roots.
 
     ``tracer`` (optional) receives the full telemetry of the protocol —
     generation/construction spans (wall-clock kernels), one ``root`` span
@@ -220,6 +235,8 @@ def run_graph500_sssp(
         faults=faults,
         engine=engine,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
     )
     if tracer.enabled:
         registry = MetricsRegistry()

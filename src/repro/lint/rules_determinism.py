@@ -150,6 +150,49 @@ class WallClock(Rule):
                 )
 
 
+#: Modules whose primitives bypass the executor's barrier discipline.
+_PARALLEL_MODULES = ("threading", "multiprocessing", "concurrent.futures", "_thread")
+
+#: The one file allowed to touch them: the rank-execution backend itself.
+_EXECUTOR_SUFFIXES = ("repro/simmpi/executor.py", "repro\\simmpi\\executor.py")
+
+
+@register
+class ParallelPrimitives(Rule):
+    name = "det-parallel-primitives"
+    pack = "det"
+    description = (
+        "threading/multiprocessing/concurrent.futures import outside "
+        "repro.simmpi.executor — rank code must go through the executor's "
+        "deterministic barrier discipline"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if module.path.endswith(_EXECUTOR_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module] if node.module else []
+            else:
+                continue
+            for name in names:
+                if name in _PARALLEL_MODULES or any(
+                    name.startswith(m + ".") for m in _PARALLEL_MODULES
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import of {name!r} outside repro.simmpi.executor: "
+                        f"spawning threads/processes in rank or fabric code "
+                        f"bypasses the executor's canonical-order barriers "
+                        f"and breaks the bit-identical-results guarantee; "
+                        f"run per-rank work through a RankTeam instead",
+                    )
+                    break
+
+
 def _sort_kind(node: ast.Call) -> str | None:
     """The ``kind=`` keyword value of a sort call, if a string constant."""
     for kw in node.keywords:

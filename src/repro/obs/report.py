@@ -26,7 +26,15 @@ __all__ = ["RunReport"]
 # Span names whose tags annotate timeline rows (engine-level work units).
 _STEP_SPANS = frozenset({"superstep", "round", "level"})
 # Tags copied from the nearest enclosing step span onto timeline rows.
-_STEP_TAGS = ("phase", "epoch", "bucket", "edges", "frontier")
+_STEP_TAGS = (
+    "phase",
+    "epoch",
+    "bucket",
+    "edges",
+    "frontier",
+    "critical_path",
+    "sum_of_ranks",
+)
 
 
 class RunReport:

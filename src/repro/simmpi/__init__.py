@@ -20,6 +20,17 @@ What is measured vs. modeled:
 """
 
 from repro.simmpi.clock import SimClock
+from repro.simmpi.executor import (
+    EXECUTOR_BACKENDS,
+    ProcessExecutor,
+    RankExecutor,
+    RankTeam,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerError,
+    make_executor,
+    resolve_executor,
+)
 from repro.simmpi.fabric import Fabric, Message
 from repro.simmpi.faults import (
     FaultPlan,
@@ -39,18 +50,27 @@ from repro.simmpi.trace import CommTrace
 
 __all__ = [
     "CommTrace",
+    "EXECUTOR_BACKENDS",
     "Fabric",
     "FabricSanitizer",
     "FaultPlan",
     "FaultSpec",
     "MachineSpec",
     "Message",
+    "ProcessExecutor",
+    "RankExecutor",
+    "RankTeam",
     "SanitizerViolation",
+    "SerialExecutor",
     "SimClock",
+    "ThreadExecutor",
     "Topology",
     "UndeliverableMessageError",
+    "WorkerError",
     "laptop_machine",
+    "make_executor",
     "parse_faults",
+    "resolve_executor",
     "small_cluster",
     "sunway_exascale",
 ]

@@ -1,0 +1,692 @@
+"""Pluggable rank-execution backends: run simulated ranks on real cores.
+
+The engines are bulk-synchronous: between two fabric barriers every rank
+runs the same compute phase (``relax_bucket``, ``process_inbox``,
+``relax_block``, ...) against state no other rank can touch.  Those phases
+are therefore embarrassingly parallel, and this module is the one place
+that exploits it.  An engine builds its per-rank objects exactly as
+before, wraps them in a :class:`RankTeam`, and from then on drives every
+phase through :meth:`RankTeam.call` — the team decides *where* the rank
+methods run:
+
+* ``serial`` — in the calling thread, in rank order: today's behavior and
+  the default.
+* ``thread`` — on a persistent :class:`~concurrent.futures.ThreadPoolExecutor`.
+  The hot phases are numpy kernels that release the GIL, so real cores
+  overlap them.  Rank objects stay in-process; nothing is copied.
+* ``process`` — on persistent worker processes.  Workers are forked from
+  the parent *after* the rank objects exist, so the initial state transfers
+  by copy-on-write instead of pickling; steady-state arguments and results
+  (``Message`` bundles, numpy arrays) move through
+  ``multiprocessing.shared_memory`` arenas without ever being pickled.
+
+Determinism guarantee: compute phases may interleave freely because ranks
+share no mutable state (shared inputs — the graph, the owner array — are
+read-only), and every barrier stays canonical: ``call`` returns results in
+rank order, and the fabric's exchange/reduction order is fixed rank order.
+All three backends therefore produce **bit-identical** distances, modeled
+time, and comm bytes — the equivalence-matrix tests pin this, with faults
+and the sanitizer on.
+
+The team also measures parallel efficiency: every ``parallel=True`` phase
+records per-rank wall durations, accumulated into a per-superstep
+``critical_path`` (sum of per-phase maxima — the floor with infinite
+cores) vs ``sum_of_ranks`` (total rank-seconds — the serial cost), which
+the engines tag onto their superstep spans and RunReport surfaces.
+"""
+
+# repro-lint: disable-file=det-parallel-primitives
+
+from __future__ import annotations
+
+import math
+import mmap
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simmpi.fabric import Message
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "ProcessExecutor",
+    "RankExecutor",
+    "RankTeam",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkerError",
+    "make_executor",
+    "resolve_executor",
+]
+
+#: Backend names accepted by :func:`make_executor`, in documentation order.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+# Shared-memory payload layout: array offsets are aligned so any dtype can
+# be mapped in place on the worker side.
+_ALIGN = 16
+_MIN_ARENA = 1 << 20
+
+
+class WorkerError(RuntimeError):
+    """A rank method raised inside a process-backend worker.
+
+    The original traceback is embedded in the message; the exception type
+    itself cannot cross the process boundary without pickling arbitrary
+    user state, which the transport layer never does.
+    """
+
+
+# -- pickle-free payload transport (process backend) ------------------------
+#
+# Arguments and results are mostly numpy arrays and Message bundles.  The
+# encoder walks a value, parks every array in a shared-memory arena, and
+# returns a small metadata tree (offsets + dtypes + shapes) that *is*
+# cheap to send over the control pipe.  Scalars and other plain leaves ride
+# along in the metadata.  The decoder maps each array straight out of the
+# arena.  Nothing array-shaped is ever pickled.
+
+
+class _PayloadWriter:
+    """Collects arrays during encoding; writes them into a buffer at once."""
+
+    __slots__ = ("arrays", "total")
+
+    def __init__(self) -> None:
+        self.arrays: list[tuple[np.ndarray, int]] = []
+        self.total = 0
+
+    def reserve(self, array: np.ndarray) -> int:
+        offset = -(-self.total // _ALIGN) * _ALIGN
+        self.arrays.append((array, offset))
+        self.total = offset + array.nbytes
+        return offset
+
+    def write_into(self, buf) -> None:
+        for array, offset in self.arrays:
+            if array.nbytes == 0:
+                continue
+            dst = np.frombuffer(buf, dtype=np.uint8, count=array.nbytes, offset=offset)
+            dst[:] = array.reshape(-1).view(np.uint8)
+
+
+def _encode(obj: Any, writer: _PayloadWriter):
+    if isinstance(obj, np.ndarray):
+        a = np.ascontiguousarray(obj)
+        return ("a", writer.reserve(a), a.dtype.str, a.shape)
+    if isinstance(obj, Message):
+        # Message fields are contiguous by construction.
+        return (
+            "m",
+            [(k, writer.reserve(v), v.dtype.str, v.shape) for k, v in obj.fields.items()],
+        )
+    if isinstance(obj, tuple):
+        return ("t", [_encode(x, writer) for x in obj])
+    if isinstance(obj, list):
+        return ("l", [_encode(x, writer) for x in obj])
+    if isinstance(obj, dict):
+        return ("d", [(k, _encode(v, writer)) for k, v in obj.items()])
+    return ("p", obj)
+
+
+def _decode_array(buf, offset: int, dtype_str: str, shape) -> np.ndarray:
+    dtype = np.dtype(dtype_str)
+    count = math.prod(shape)
+    if count == 0:
+        return np.empty(shape, dtype=dtype)
+    return (
+        np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
+        .reshape(shape)
+        .copy()
+    )
+
+
+def _decode(meta, buf) -> Any:
+    tag = meta[0]
+    if tag == "a":
+        return _decode_array(buf, meta[1], meta[2], meta[3])
+    if tag == "m":
+        return Message(
+            **{k: _decode_array(buf, off, dt, shape) for k, off, dt, shape in meta[1]}
+        )
+    if tag == "t":
+        return tuple(_decode(m, buf) for m in meta[1])
+    if tag == "l":
+        return [_decode(m, buf) for m in meta[1]]
+    if tag == "d":
+        return {k: _decode(m, buf) for k, m in meta[1]}
+    return meta[1]
+
+
+# -- teams ------------------------------------------------------------------
+
+
+class RankTeam:
+    """Drives one engine run's rank objects through an execution backend.
+
+    ``call(method, per_rank=None, common=(), parallel=False)`` invokes
+    ``getattr(rank, method)(*per_rank[i], *common)`` on every rank and
+    returns the results **in rank order** (the determinism anchor).
+    ``parallel=True`` marks a compute phase: it may run on real cores and
+    its per-rank wall durations feed the critical-path accounting;
+    ``parallel=False`` is for cheap control reads that stay sequential.
+    """
+
+    backend = "?"
+    num_workers = 1
+
+    def __init__(self, num_ranks: int, tracer: Tracer | None) -> None:
+        self.num_ranks = num_ranks
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._critical_path = 0.0
+        self._sum_of_ranks = 0.0
+
+    def _account(self, method: str, durations: Sequence[float]) -> None:
+        self._critical_path += max(durations)
+        self._sum_of_ranks += sum(durations)
+        if self.tracer.enabled:
+            # Emitted from the driver thread after the gather — the tracer
+            # is not thread-safe and workers must never touch it.
+            for rank, seconds in enumerate(durations):
+                self.tracer.event(
+                    "rank_task",
+                    cat="executor",
+                    method=method,
+                    rank=rank,
+                    seconds=seconds,
+                )
+
+    def take_step_timing(self) -> tuple[float, float]:
+        """Return and reset (critical_path, sum_of_ranks) wall seconds.
+
+        ``critical_path`` sums each parallel phase's slowest rank — the
+        superstep's lower bound with unlimited cores; ``sum_of_ranks`` sums
+        every rank's duration — its serial cost.  Their ratio is the
+        superstep's available parallelism.
+        """
+        timing = (self._critical_path, self._sum_of_ranks)
+        self._critical_path = 0.0
+        self._sum_of_ranks = 0.0
+        return timing
+
+    def call(
+        self,
+        method: str,
+        per_rank: Sequence[tuple] | None = None,
+        common: tuple = (),
+        parallel: bool = False,
+    ) -> list:
+        raise NotImplementedError
+
+    def call_one(self, rank: int, method: str, *args) -> Any:
+        """Invoke ``method`` on a single rank (control plane, untimed)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the team's workers; the team is unusable afterwards."""
+
+
+class SerialTeam(RankTeam):
+    """All rank methods run inline in the calling thread, in rank order."""
+
+    backend = "serial"
+
+    def __init__(self, ranks: Sequence, tracer: Tracer | None = None) -> None:
+        super().__init__(len(ranks), tracer)
+        self.ranks = list(ranks)
+
+    def call(self, method, per_rank=None, common=(), parallel=False):
+        results = []
+        durations = [] if parallel else None
+        for i, rank in enumerate(self.ranks):
+            args = (tuple(per_rank[i]) + common) if per_rank is not None else common
+            if parallel:
+                t0 = time.perf_counter()
+                results.append(getattr(rank, method)(*args))
+                durations.append(time.perf_counter() - t0)
+            else:
+                results.append(getattr(rank, method)(*args))
+        if parallel:
+            self._account(method, durations)
+        return results
+
+    def call_one(self, rank, method, *args):
+        return getattr(self.ranks[rank], method)(*args)
+
+
+def _timed_call(rank_obj, method: str, args: tuple):
+    t0 = time.perf_counter()
+    result = getattr(rank_obj, method)(*args)
+    return result, time.perf_counter() - t0
+
+
+class ThreadTeam(RankTeam):
+    """Parallel phases fan out over a shared ThreadPoolExecutor.
+
+    The rank objects live in the driver process; the pool only overlaps
+    their GIL-releasing numpy kernels.  Results are gathered in rank
+    order, so any interleaving of the independent phases is invisible.
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self, ranks: Sequence, pool: ThreadPoolExecutor, num_workers: int,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(len(ranks), tracer)
+        self.ranks = list(ranks)
+        self.num_workers = num_workers
+        self._pool = pool
+
+    def call(self, method, per_rank=None, common=(), parallel=False):
+        if not parallel or self.num_ranks == 1:
+            return SerialTeam.call(self, method, per_rank, common, parallel)
+        futures = [
+            self._pool.submit(
+                _timed_call,
+                rank,
+                method,
+                (tuple(per_rank[i]) + common) if per_rank is not None else common,
+            )
+            for i, rank in enumerate(self.ranks)
+        ]
+        pairs = [f.result() for f in futures]  # rank order; re-raises
+        self._account(method, [d for _, d in pairs])
+        return [r for r, _ in pairs]
+
+    def call_one(self, rank, method, *args):
+        return getattr(self.ranks[rank], method)(*args)
+
+
+def _worker_main(conn, ranks: dict) -> None:
+    """Process-backend worker loop: decode, dispatch, encode, reply.
+
+    Runs in a forked child that inherited ``ranks`` (its subset of the
+    team's rank objects) by copy-on-write.  The parent's fabric, tracer
+    and remaining ranks also exist in this address space but are never
+    touched — all interaction is the control pipe plus the shared-memory
+    arenas named in each command.
+    """
+    attached: dict[str, tuple] = {}  # role -> (name, buffer, close)
+
+    def attach(role: str, name: str):
+        cached = attached.get(role)
+        if cached is None or cached[0] != name:
+            if cached is not None:
+                cached[2]()
+            # Map /dev/shm/<name> directly: in Python 3.11 a SharedMemory
+            # *attach* also registers with a resource tracker, and a forked
+            # worker cannot reuse the parent's tracker (not its child), so
+            # it would spawn one of its own that later mistakes the
+            # parent-owned segments for leaks.  A raw mmap has no tracker
+            # side effects; the SharedMemory path is the non-/dev/shm
+            # fallback.
+            path = "/dev/shm/" + name.lstrip("/")
+            try:
+                fd = os.open(path, os.O_RDWR)
+            except OSError:  # pragma: no cover - non-/dev/shm platforms
+                segment = shared_memory.SharedMemory(name=name)
+                attached[role] = (name, segment.buf, segment.close)
+            else:
+                try:
+                    mapped = mmap.mmap(fd, os.fstat(fd).st_size)
+                finally:
+                    os.close(fd)
+                attached[role] = (name, mapped, mapped.close)
+        return attached[role][1]
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg[0] == "stop":
+                break
+            _, method, common_meta, per_metas, only, cmd_name, rep_name, rep_size = msg
+            cmd_buf = attach("cmd", cmd_name) if cmd_name else b""
+            try:
+                common = tuple(_decode(m, cmd_buf) for m in common_meta)
+                writer = _PayloadWriter()
+                metas = []
+                for rk in only if only is not None else sorted(ranks):
+                    if per_metas is not None:
+                        args = tuple(_decode(m, cmd_buf) for m in per_metas[rk])
+                        args += common
+                    else:
+                        args = common
+                    t0 = time.perf_counter()
+                    result = getattr(ranks[rk], method)(*args)
+                    duration = time.perf_counter() - t0
+                    metas.append((rk, _encode(result, writer), duration))
+            except BaseException:
+                conn.send(("err", method, traceback.format_exc()))
+                continue
+            if writer.total <= rep_size:
+                writer.write_into(attach("rep", rep_name))
+                conn.send(("res", metas, True, writer.total))
+            else:
+                # Reply outgrew the arena: spill this one over the pipe and
+                # report the size so the parent grows the arena for next time.
+                payload = bytearray(writer.total)
+                writer.write_into(payload)
+                conn.send(("res", metas, False, writer.total))
+                conn.send_bytes(bytes(payload))
+    finally:
+        for _, _, close in attached.values():
+            close()
+        conn.close()
+
+
+class ProcessTeam(RankTeam):
+    """Parallel phases run on forked worker processes.
+
+    Rank ``i`` lives in worker ``i % num_workers`` — forked after the
+    engine constructed (and seeded) the rank objects, so the initial state
+    arrives by copy-on-write, never pickled.  Steady-state traffic is
+    pickle-free too: array payloads travel through per-worker shared-memory
+    arenas (parent-owned, grown on demand); only tiny metadata tuples cross
+    the control pipes.  Workers persist for the team's whole run — one fork
+    per run, thousands of supersteps served.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self, ranks: Sequence, num_workers: int, tracer: Tracer | None = None
+    ) -> None:
+        super().__init__(len(ranks), tracer)
+        ctx = multiprocessing.get_context("fork")
+        workers = max(1, min(int(num_workers), len(ranks)))
+        self.num_workers = workers
+        self._rank_ids = [
+            [i for i in range(len(ranks)) if i % workers == w] for w in range(workers)
+        ]
+        self._conns = []
+        self._procs = []
+        self._cmd: list[shared_memory.SharedMemory | None] = []
+        self._rep: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        for w in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, {i: ranks[i] for i in self._rank_ids[w]}),
+                daemon=True,
+                name=f"repro-rank-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+            self._cmd.append(None)
+            self._rep.append(shared_memory.SharedMemory(create=True, size=_MIN_ARENA))
+
+    @staticmethod
+    def _grown(segment: shared_memory.SharedMemory | None, nbytes: int):
+        """A segment of at least ``nbytes``; reuses or replaces ``segment``.
+
+        POSIX keeps an unlinked segment alive while mapped, so the old one
+        can be unlinked immediately — the worker drops its stale mapping
+        when it sees the new name.
+        """
+        if segment is not None and segment.size >= nbytes:
+            return segment
+        if segment is not None:
+            segment.close()
+            segment.unlink()
+        size = max(_MIN_ARENA, 1 << (nbytes - 1).bit_length())
+        return shared_memory.SharedMemory(create=True, size=size)
+
+    def _dispatch(self, method, per_rank, common, only_rank=None):
+        """Send one command per (involved) worker; payloads via arenas."""
+        workers = (
+            range(self.num_workers) if only_rank is None
+            else (only_rank % self.num_workers,)
+        )
+        for w in workers:
+            writer = _PayloadWriter()
+            common_meta = tuple(_encode(a, writer) for a in common)
+            per_metas = None
+            if per_rank is not None:
+                ids = self._rank_ids[w] if only_rank is None else [only_rank]
+                per_metas = {
+                    i: tuple(_encode(a, writer) for a in per_rank[i]) for i in ids
+                }
+            cmd_name = None
+            if writer.total:
+                self._cmd[w] = self._grown(self._cmd[w], writer.total)
+                writer.write_into(self._cmd[w].buf)
+                cmd_name = self._cmd[w].name
+            only = None if only_rank is None else [only_rank]
+            self._conns[w].send(
+                ("call", method, common_meta, per_metas, only,
+                 cmd_name, self._rep[w].name, self._rep[w].size)
+            )
+        return workers
+
+    def _gather(self, workers, results, durations):
+        failure = None
+        for w in workers:
+            msg = self._conns[w].recv()
+            if msg[0] == "err":
+                if failure is None:
+                    failure = (w, msg[1], msg[2])
+                continue
+            _, metas, used_arena, total = msg
+            if used_arena:
+                buf = self._rep[w].buf
+            else:
+                buf = self._conns[w].recv_bytes()
+                self._rep[w] = self._grown(self._rep[w], total)
+            for rk, meta, duration in metas:
+                results[rk] = _decode(meta, buf)
+                durations[rk] = duration
+        if failure is not None:
+            w, method, tb = failure
+            raise WorkerError(
+                f"rank worker {w} failed in {method!r}:\n{tb.rstrip()}"
+            )
+
+    def call(self, method, per_rank=None, common=(), parallel=False):
+        if self._closed:
+            raise RuntimeError("team is closed")
+        if per_rank is not None:
+            per_rank = {i: tuple(args) for i, args in enumerate(per_rank)}
+        workers = self._dispatch(method, per_rank, tuple(common))
+        results: list = [None] * self.num_ranks
+        durations = [0.0] * self.num_ranks
+        self._gather(workers, results, durations)
+        if parallel:
+            self._account(method, durations)
+        return results
+
+    def call_one(self, rank, method, *args):
+        if self._closed:
+            raise RuntimeError("team is closed")
+        workers = self._dispatch(method, {rank: args}, (), only_rank=rank)
+        results: list = [None] * self.num_ranks
+        self._gather(workers, results, [0.0] * self.num_ranks)
+        return results[rank]
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung-worker backstop
+                proc.terminate()
+                proc.join(timeout=1)
+        for conn in self._conns:
+            conn.close()
+        for segment in (*self._cmd, *self._rep):
+            if segment is not None:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    def __del__(self):  # pragma: no cover - GC backstop for leaked teams
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- executors --------------------------------------------------------------
+
+
+class RankExecutor:
+    """Factory for :class:`RankTeam` instances; owns any persistent pool.
+
+    One executor can serve many sequential runs (the harness reuses one
+    across all benchmark roots); each run builds one team from its freshly
+    constructed rank objects.  ``close()`` releases pooled resources.
+    """
+
+    name = "?"
+
+    def team(self, ranks: Sequence, tracer: Tracer | None = None) -> RankTeam:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (idempotent)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class SerialExecutor(RankExecutor):
+    """The default backend: everything runs inline, exactly as before."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        # ``workers`` is accepted for CLI uniformity; one thread is all
+        # there is.
+        self.workers = 1
+
+    def team(self, ranks, tracer=None):
+        return SerialTeam(ranks, tracer)
+
+
+class ThreadExecutor(RankExecutor):
+    """A persistent thread pool shared by every team this executor builds."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self._pool: ThreadPoolExecutor | None = None
+
+    def team(self, ranks, tracer=None):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-rank"
+            )
+        return ThreadTeam(ranks, self._pool, self.workers, tracer)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(RankExecutor):
+    """Fork-based worker processes with shared-memory payload transport.
+
+    Workers belong to the team (they must be forked after the rank objects
+    exist to inherit them copy-on-write), so this executor holds only the
+    configuration; the fork-availability check happens here, once, instead
+    of failing mid-run.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the process executor needs the fork start method (POSIX); "
+                "use executor='thread' on this platform"
+            )
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+
+    def team(self, ranks, tracer=None):
+        return ProcessTeam(ranks, self.workers, tracer)
+
+
+_FACTORY = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+assert tuple(_FACTORY) == EXECUTOR_BACKENDS
+
+
+def make_executor(
+    spec: str | RankExecutor = "serial", workers: int | None = None
+) -> RankExecutor:
+    """Build an executor from a backend name, or pass one through.
+
+    ``workers`` sizes the pool (default: the host's CPU count); it cannot
+    be combined with an already-constructed executor instance.
+    """
+    if isinstance(spec, RankExecutor):
+        if workers is not None:
+            raise ValueError(
+                "workers= cannot be combined with an executor instance; "
+                "size the executor when constructing it"
+            )
+        return spec
+    try:
+        factory = _FACTORY[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown executor backend {spec!r}; "
+            f"options: {', '.join(EXECUTOR_BACKENDS)}"
+        ) from None
+    return factory(workers=workers)
+
+
+def resolve_executor(
+    spec: str | RankExecutor | None, workers: int | None = None
+) -> tuple[RankExecutor, bool]:
+    """Resolve an engine's ``executor=`` argument to ``(executor, owns)``.
+
+    ``owns`` tells the caller whether it created the executor (a string
+    spec) and must close it, or borrowed one (an instance, or the serial
+    default) whose lifetime belongs elsewhere.
+    """
+    if spec is None:
+        if workers is not None:
+            raise ValueError(
+                "workers= requires an executor backend "
+                "(executor='thread' or 'process')"
+            )
+        return SerialExecutor(), False
+    if isinstance(spec, RankExecutor):
+        return make_executor(spec, workers), False
+    return make_executor(spec, workers), True

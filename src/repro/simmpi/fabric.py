@@ -70,6 +70,11 @@ class Message:
         for m in msgs[1:]:
             if m.names != names:
                 raise ValueError(f"incompatible message schemas: {names} vs {m.names}")
+        if len(msgs) == 1:
+            # Lone message: messages are immutable, so aliasing it is safe
+            # and saves one full copy of every field (the common case for
+            # sparse exchanges, where most ranks hear from one sender).
+            return msgs[0]
         return cls(**{k: np.concatenate([m[k] for m in msgs]) for k in names})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

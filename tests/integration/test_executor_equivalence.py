@@ -1,0 +1,133 @@
+"""Executor backends must be invisible: bit-identical results everywhere.
+
+The fixture matrix crosses the three distributed engines with the three
+rank-execution backends, with fault injection and the runtime sanitizer
+both off and on.  For every cell the distances (or BFS parent/level),
+modeled time, comm-byte summary, counters, and rank-state accounting must
+equal the serial backend's exactly — not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+
+SCALE = 9
+NUM_RANKS = 8
+FAULTS = "drop=0.04,delay=1us,seed=11"
+
+ENGINES = ("dist1d", "dist2d", "bfs")
+PARALLEL_BACKENDS = ("thread", "process")
+MODES = (
+    {"faults": None, "sanitize": False},
+    {"faults": FAULTS, "sanitize": False},
+    {"faults": None, "sanitize": True},
+    {"faults": FAULTS, "sanitize": True},
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(generate_kronecker(SCALE, seed=2022))
+
+
+@pytest.fixture(scope="module")
+def source(graph):
+    return int(np.argmax(graph.out_degree))
+
+
+@pytest.fixture(scope="module")
+def serial_runs(graph, source):
+    """Serial baseline per (engine, mode index), computed once."""
+    runs = {}
+    for engine in ENGINES:
+        for mi, mode in enumerate(MODES):
+            runs[engine, mi] = api.run(
+                graph, source, engine=engine, num_ranks=NUM_RANKS, **mode
+            )
+    return runs
+
+
+def _assert_identical(engine, base, run):
+    if engine == "bfs":
+        assert np.array_equal(base.result.parent, run.result.parent)
+        assert np.array_equal(base.result.level, run.result.level)
+    else:
+        # array_equal treats the unreachable inf entries as equal too.
+        assert np.array_equal(base.result.dist, run.result.dist)
+        assert np.array_equal(base.result.parent, run.result.parent)
+    assert run.modeled_time == base.modeled_time
+    assert run.comm == base.comm
+    assert run.time_breakdown == base.time_breakdown
+    assert run.result.counters.as_dict() == base.result.counters.as_dict()
+    assert run.meta["rank_state"] == base.meta["rank_state"]
+    if "sanitizer" in base.result.meta:
+        assert run.result.meta["sanitizer"] == base.result.meta["sanitizer"]
+
+
+@pytest.mark.parametrize(
+    "mode_index",
+    range(len(MODES)),
+    ids=["plain", "faults", "sanitize", "faults+sanitize"],
+)
+@pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_backend_matches_serial(
+    graph, source, serial_runs, engine, backend, mode_index
+):
+    mode = MODES[mode_index]
+    base = serial_runs[engine, mode_index]
+    run = api.run(
+        graph,
+        source,
+        engine=engine,
+        num_ranks=NUM_RANKS,
+        executor=backend,
+        workers=3,
+        **mode,
+    )
+    assert run.meta["executor"] == {"backend": backend, "workers": 3}
+    _assert_identical(engine, base, run)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_explicit_serial_backend_is_the_default(graph, source, serial_runs, engine):
+    run = api.run(
+        graph, source, engine=engine, num_ranks=NUM_RANKS, executor="serial"
+    )
+    assert run.meta["executor"] == {"backend": "serial", "workers": 1}
+    _assert_identical(engine, serial_runs[engine, 0], run)
+
+
+def test_shared_engine_rejects_executor(graph, source):
+    with pytest.raises(ValueError, match="no simulated ranks"):
+        api.run(graph, source, engine="shared", executor="thread")
+    with pytest.raises(ValueError, match="no simulated ranks"):
+        api.run(graph, source, engine="shared", workers=4)
+
+
+def test_single_worker_process_backend_matches(graph, source, serial_runs):
+    # Degenerate pool: every rank in one worker still meets every barrier.
+    run = api.run(
+        graph,
+        source,
+        engine="dist1d",
+        num_ranks=NUM_RANKS,
+        executor="process",
+        workers=1,
+    )
+    _assert_identical("dist1d", serial_runs["dist1d", 0], run)
+
+
+def test_more_workers_than_ranks_matches(graph, source, serial_runs):
+    run = api.run(
+        graph,
+        source,
+        engine="dist1d",
+        num_ranks=NUM_RANKS,
+        executor="thread",
+        workers=32,
+    )
+    _assert_identical("dist1d", serial_runs["dist1d", 0], run)

@@ -217,6 +217,96 @@ class TestUnstableSort:
         assert findings == []
 
 
+class TestParallelPrimitives:
+    def test_import_threading_fires(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            def spawn(fn):
+                threading.Thread(target=fn).start()
+            """,
+            rules=["det-parallel-primitives"],
+        )
+        assert rules_of(findings) == ["det-parallel-primitives"]
+        assert "RankTeam" in findings[0].message
+
+    def test_from_multiprocessing_fires(self, lint):
+        findings = lint(
+            """
+            from multiprocessing import Pool
+
+            def fan_out(fn, items):
+                with Pool(4) as pool:
+                    return pool.map(fn, items)
+            """,
+            rules=["det-parallel-primitives"],
+        )
+        assert rules_of(findings) == ["det-parallel-primitives"]
+
+    def test_concurrent_futures_submodule_fires(self, lint):
+        findings = lint(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(fn, items):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(fn, items))
+            """,
+            rules=["det-parallel-primitives"],
+        )
+        assert rules_of(findings) == ["det-parallel-primitives"]
+
+    def test_shared_memory_import_fires(self, lint):
+        findings = lint(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                return SharedMemory(name=name)
+            """,
+            rules=["det-parallel-primitives"],
+        )
+        assert rules_of(findings) == ["det-parallel-primitives"]
+
+    def test_unrelated_imports_are_clean(self, lint):
+        findings = lint(
+            """
+            import math
+            from collections import Counter
+
+            def tally(xs):
+                return Counter(xs), math.inf
+            """,
+            rules=["det-parallel-primitives"],
+        )
+        assert findings == []
+
+    def test_executor_module_is_exempt(self):
+        from repro.lint.registry import get_rules
+        from repro.lint.runner import lint_source
+
+        source = "import threading\nfrom multiprocessing import get_context\n"
+        rules = get_rules(["det-parallel-primitives"])
+        assert (
+            lint_source(
+                source, path="src/repro/simmpi/executor.py", rules=rules
+            )
+            == []
+        )
+        assert lint_source(source, path="src/repro/simmpi/fabric.py", rules=rules)
+
+    def test_real_executor_module_lints_clean(self):
+        from repro.lint.registry import get_rules
+        from repro.lint.runner import lint_source
+
+        path = SRC / "simmpi" / "executor.py"
+        findings = lint_source(
+            path.read_text(), path=str(path), rules=get_rules(["det"])
+        )
+        assert findings == []
+
+
 class TestKnownGoodEngines:
     def test_routing_wire_paths_are_clean(self, lint):
         for rel in ("core/dist_sssp.py", "core/twod_engine.py", "graph/dist_build.py"):

@@ -41,6 +41,13 @@ class TestMessage:
         assert Message.concat([]) is None
         assert Message.concat([None, None]) is None
 
+    def test_concat_single_returns_it_uncopied(self):
+        # The lone-sender fast path: messages are immutable, so aliasing
+        # is safe and skips a full copy of every field.
+        msg = _msg([1, 2], [0.1, 0.2])
+        assert Message.concat([msg]) is msg
+        assert Message.concat([None, msg, None]) is msg
+
     def test_concat_schema_mismatch(self):
         with pytest.raises(ValueError):
             Message.concat([_msg([1], [0.1]), Message(other=np.zeros(1))])
