@@ -6,6 +6,8 @@ them verbatim.
 """
 
 from repro.analysis.ablation import ablation_study
+from repro.analysis.attribution import PhaseAttribution
+from repro.analysis.benchdiff import diff_documents, load_document, render_diff
 from repro.analysis.comparison import engine_comparison
 from repro.analysis.memory import estimate_memory, max_feasible_scale
 from repro.analysis.projection import ProjectionModel, fit_projection_model
@@ -13,15 +15,19 @@ from repro.analysis.scaling import strong_scaling, weak_scaling
 from repro.analysis.sweep import delta_sweep, fusion_cap_sweep, hub_threshold_sweep
 
 __all__ = [
+    "PhaseAttribution",
     "ProjectionModel",
     "ablation_study",
     "delta_sweep",
+    "diff_documents",
     "engine_comparison",
     "estimate_memory",
     "fit_projection_model",
+    "load_document",
     "max_feasible_scale",
     "fusion_cap_sweep",
     "hub_threshold_sweep",
+    "render_diff",
     "strong_scaling",
     "weak_scaling",
 ]

@@ -23,6 +23,10 @@ against a committed baseline and fail on a wall-clock regression beyond
 the tolerance.
 """
 
+# repro-lint: disable-file=obs-manual-timing  (this IS the benchmark
+# timer: min-of-repeats perf_counter around whole runs, by protocol —
+# tracer spans would add per-run overhead to the quantity under test)
+
 from __future__ import annotations
 
 import hashlib

@@ -351,6 +351,10 @@ def _distributed_bfs(
     levels_top_down = 0
 
     try:
+      # Solve span: bounds wall-clock attribution (see dist_sssp).
+      with tracer.span(
+          "solve", cat="engine", backend=team.backend, workers=team.num_workers
+      ):
         while True:
             frontier_sizes = np.array(
                 team.call("frontier_size"), dtype=np.float64

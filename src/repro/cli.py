@@ -9,6 +9,12 @@ Mirrors the real benchmark driver's workflow:
 * ``bfs``      — the kernel-2 extension, per-direction statistics;
 * ``ablation`` — the optimization ablation table;
 * ``sweep``    — the ∆ sensitivity sweep;
+* ``profile``  — run one engine under full instrumentation; print the
+  compute/barrier/dispatch/transport/serialization attribution table and
+  the ranked bottleneck diagnosis (``--out`` writes the
+  ``repro-profile-report/v1`` document);
+* ``bench diff`` — compare two BENCH_*.json documents (or profile
+  reports) with per-engine deltas and a regression threshold;
 * ``project``  — fit the cost model from real runs, project a target
   (scale, nodes) on the Sunway-class machine;
 * ``lint``     — the codebase-specific static analyzer (index-space,
@@ -312,6 +318,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+    from repro.analysis.attribution import PhaseAttribution
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.obs import (
+        JsonlSink,
+        Tracer,
+        validate_profile_report,
+        write_chrome_trace,
+    )
+
+    faults = _parse_faults_arg(args.faults)
+    sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+    tracer = Tracer(sinks=sinks)
+    tracer.add_meta(
+        command="profile",
+        engine=args.engine,
+        scale=args.scale,
+        num_ranks=args.ranks,
+        seed=args.seed,
+    )
+    if faults is not None:
+        tracer.add_meta(faults=faults.describe())
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    source = int(np.argmax(graph.out_degree))
+    run = api.run(
+        graph,
+        source,
+        engine=args.engine,
+        num_ranks=args.ranks,
+        tracer=tracer,
+        faults=faults,
+        sanitize=args.sanitize,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    tracer.close()
+    attribution = PhaseAttribution.from_records(tracer.events)
+    print(attribution.render_text())
+    print(f"\nmodeled time: {run.simulated_seconds:.6f}s (cost model, unchanged)")
+    doc = attribution.to_dict()
+    validate_profile_report(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"profile report: {args.out} (schema {doc['schema']})")
+    if args.chrome_out:
+        write_chrome_trace(tracer.events, args.chrome_out)
+        print(
+            f"chrome trace: {args.chrome_out} "
+            f"(per-rank lanes; open in chrome://tracing or Perfetto)"
+        )
+    if args.trace_out:
+        print(f"trace: {args.trace_out} ({len(tracer.events)} records)")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.benchdiff import diff_documents, load_document, render_diff
+
+    try:
+        old = load_document(args.old)
+        new = load_document(args.new)
+        rows, failures = diff_documents(
+            old, new, max_regression=args.max_regression
+        )
+    except ValueError as exc:
+        print(f"repro bench diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(rows, failures, args.max_regression))
+    return 1 if failures else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintError,
@@ -498,6 +581,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--max-regression", type=float, default=0.30)
     p_bench.set_defaults(func=_cmd_bench)
+    bench_sub = p_bench.add_subparsers(dest="bench_command")
+    p_diff = bench_sub.add_parser(
+        "diff",
+        help=(
+            "compare two BENCH_*.json documents (or profile reports): "
+            "per-engine deltas, nonzero exit past the threshold"
+        ),
+    )
+    p_diff.add_argument("old", help="baseline JSON document")
+    p_diff.add_argument("new", help="candidate JSON document")
+    p_diff.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="relative slowdown tolerated per engine (0.25 = +25%%)",
+    )
+    p_diff.set_defaults(func=_cmd_bench_diff)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help=(
+            "run one engine under full instrumentation and print the "
+            "wall-clock attribution table + bottleneck diagnosis"
+        ),
+    )
+    _add_common(p_prof)
+    p_prof.add_argument(
+        "--engine",
+        choices=("dist1d", "dist2d", "bfs"),
+        default="dist1d",
+        help="engine to profile (one single-root run)",
+    )
+    p_prof.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic fabric faults (see 'run --faults')",
+    )
+    p_prof.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="audit every fabric collective while profiling",
+    )
+    _add_executor(p_prof)
+    p_prof.add_argument(
+        "--out",
+        default=None,
+        help="write the repro-profile-report/v1 JSON document here",
+    )
+    p_prof.add_argument(
+        "--chrome-out",
+        default=None,
+        help="write a Perfetto trace with one lane per rank",
+    )
+    p_prof.add_argument(
+        "--trace-out", default=None, help="write the raw telemetry stream as JSONL"
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_lint = sub.add_parser(
         "lint", help="codebase-specific static analysis (see repro.lint)"

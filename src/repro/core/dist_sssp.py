@@ -692,6 +692,13 @@ def _distributed_sssp(
         return any(team.call("take_pending_announcements"))
 
     try:
+      # The solve span bounds wall-clock attribution: everything the team
+      # and fabric do between here and the final export happens inside it,
+      # so the profiler can reconcile its buckets against this one wall
+      # duration (setup/teardown are reported separately).
+      with tracer.span(
+          "solve", cat="engine", backend=team.backend, workers=team.num_workers
+      ):
         while True:
             kmins = np.array(team.call("local_min_bucket"))
             # Termination allreduce: min over local minimum buckets.

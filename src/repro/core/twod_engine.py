@@ -463,6 +463,10 @@ def _distributed_sssp_2d(
     rounds = 0
     max_partners = 0
     try:
+      # Solve span: bounds wall-clock attribution (see dist_sssp).
+      with tracer.span(
+          "solve", cat="engine", backend=team.backend, workers=team.num_workers
+      ):
         while True:
             active = np.array(team.call("frontier_size"), dtype=np.float64)
             total_active = fabric.allreduce(active, op="sum")

@@ -18,7 +18,11 @@ enforces them mechanically with an AST-based rule engine:
   (``# repro: wire-path``);
 * **dtype pack** — unguarded narrowing of vertex ids to 32-bit,
   per-iteration ``astype`` conversions of loop-invariant arrays, and
-  hand-rolled byte math that hard-codes element widths.
+  hand-rolled byte math that hard-codes element widths;
+* **obs pack** — hand-rolled timing (direct ``time.perf_counter`` /
+  ``time.monotonic`` reads) outside ``repro.obs`` and the executor's
+  bucket instrumentation, which the phase-attribution profiler cannot
+  see.
 
 Findings can be suppressed per line or per file with
 ``# repro-lint: disable=<rule>[,<rule>...]`` comments.  The CLI entry
@@ -31,7 +35,12 @@ from repro.lint.report import render_json, render_text
 from repro.lint.runner import LintError, lint_paths, lint_source
 
 # Importing the packs registers their rules.
-from repro.lint import rules_determinism, rules_dtype, rules_index  # noqa: F401  (registration)
+from repro.lint import (  # noqa: F401  (registration)
+    rules_determinism,
+    rules_dtype,
+    rules_index,
+    rules_obs,
+)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,70 @@
+"""Observability rule pack.
+
+PR 6 added the performance-attribution subsystem: every second of wall
+clock is decomposed into compute / barrier_wait / dispatch / transport /
+serialization buckets from tracer records.  That attribution is only
+trustworthy if timing flows through the sanctioned paths — the tracer
+(``repro.obs``) and the executor's bucket instrumentation
+(``repro.simmpi.executor``).  A stray ``time.perf_counter()`` pair in
+engine or fabric code produces numbers the profiler cannot see, double
+counts, or contradicts the bucket totals.
+
+The rule therefore flags direct monotonic-clock reads everywhere else.
+Code that genuinely needs raw clock access (the legacy ``Timer`` shim,
+the perf microbenchmark harness) opts out with a
+``# repro-lint: disable-file=obs-manual-timing`` comment carrying its
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import LintModule
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules_index import name_key
+
+#: Monotonic/CPU clock reads that constitute hand-rolled timing.
+_MANUAL_CLOCKS = {
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+}
+
+def _is_sanctioned_path(path: str) -> bool:
+    """The tracer package itself and the executor's bucket instrumentation
+    are where raw clock reads belong — both feed the profiler."""
+    norm = path.replace("\\", "/")
+    return norm.endswith("repro/simmpi/executor.py") or "repro/obs/" in norm
+
+
+@register
+class ManualTiming(Rule):
+    name = "obs-manual-timing"
+    pack = "obs"
+    description = (
+        "direct monotonic-clock read (time.perf_counter / time.monotonic) "
+        "outside repro.obs and repro.simmpi.executor — time through the "
+        "tracer so the profiler's bucket attribution stays complete"
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        if _is_sanctioned_path(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            key = name_key(node.func)
+            if key in _MANUAL_CLOCKS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{key}() is hand-rolled timing: measurements taken "
+                    f"outside repro.obs / the executor are invisible to "
+                    f"the phase-attribution profiler; wrap the region in "
+                    f"tracer.span(...) (or justify with "
+                    f"# repro-lint: disable-file=obs-manual-timing)",
+                )

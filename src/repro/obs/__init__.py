@@ -13,6 +13,12 @@ one attribute check per superstep, never per edge.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    BUCKETS,
+    PROFILE_SCHEMA,
+    split_call_buckets,
+    validate_profile_report,
+)
 from repro.obs.report import RunReport
 from repro.obs.sinks import (
     JsonlSink,
@@ -24,6 +30,7 @@ from repro.obs.sinks import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -32,10 +39,13 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_SCHEMA",
     "RunReport",
     "Span",
     "Tracer",
     "chrome_trace_events",
     "read_jsonl",
+    "split_call_buckets",
+    "validate_profile_report",
     "write_chrome_trace",
 ]

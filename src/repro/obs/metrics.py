@@ -81,6 +81,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0.0 <= q <= 1.0``) from buckets.
+
+        Walks the power-of-two buckets to the one holding the target
+        observation and interpolates linearly within its range
+        (``(2^(e-1), 2^e]``; the e=0 bucket spans ``[0, 1]``), then clamps
+        to the exact observed min/max — so p0/p100 are exact and interior
+        percentiles are within one bucket of truth.  ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0
+        for e, n in sorted(self.buckets.items()):
+            seen += n
+            if seen >= target:
+                hi = float(2**e)
+                lo = 0.0 if e == 0 else float(2 ** (e - 1))
+                # Position of the target within this bucket's count.
+                frac = 1.0 - (seen - target) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+        return self.max  # pragma: no cover - guarded by seen >= target
+
     def summary(self) -> dict:
         return {
             "count": self.count,

@@ -1,0 +1,212 @@
+"""Wall-clock attribution primitives: where did every second go?
+
+The executor backends measure each team phase (``RankTeam.call``) at a
+handful of checkpoints — call entry, dispatch complete, per-task start and
+duration, measured encode/decode seconds — and this module folds those
+checkpoints into five non-overlapping buckets that sum *exactly* to the
+phase's wall time:
+
+``compute``
+    Rank-seconds of useful work, divided by the number of workers that
+    could overlap it: the time the phase would have taken with perfect
+    load balance and zero overhead.
+``barrier_wait``
+    The execution window beyond ``compute``: workers idling while a
+    straggler rank finishes (load imbalance, GIL contention).
+``dispatch``
+    Control-plane cost: building and submitting the per-rank commands,
+    plus whole control calls (``parallel=False`` team reads) whose work
+    is orchestration rather than graph computation.
+``transport``
+    Moving payloads between address spaces: pipe traffic, arena handoff,
+    result gathering — everything left after the measured buckets.
+``serialization``
+    Measured encode/decode seconds for the process backend's
+    shared-memory payload transport (parent and worker side).
+
+The decomposition is deliberately *exact*: measured quantities are
+clamped into the remaining budget in a fixed order (serialization, then
+compute, then barrier_wait, then dispatch) and ``transport`` takes the
+non-negative remainder, so ``sum(buckets.values()) == wall`` always
+holds and the attribution table reconciles with total measured wall time
+by construction.
+
+Everything here is driver-side arithmetic on a handful of floats per
+phase — nothing touches the per-edge hot path, and the executor only
+collects the extra checkpoints when a real tracer is attached
+(free-when-off, like every other obs hook).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "BUCKETS",
+    "BUCKET_HINTS",
+    "PROFILE_SCHEMA",
+    "split_call_buckets",
+    "validate_profile_report",
+]
+
+#: Attribution buckets, in presentation order.
+BUCKETS = ("compute", "barrier_wait", "dispatch", "transport", "serialization")
+
+#: One-line remediation hint per bucket, used by the ranked diagnosis.
+BUCKET_HINTS = {
+    "compute": "useful rank work; speedup here needs a faster kernel, not a faster executor",
+    "barrier_wait": "ranks idling at phase barriers — load imbalance or stragglers; rebalance rank-to-worker placement or split hot buckets",
+    "dispatch": "executor control plane (command build/submit, control-plane team reads, driver orchestration); batch or fuse control calls",
+    "transport": "payload movement between address spaces (pipes, arena handoff, result gather); shrink payloads or keep state worker-resident",
+    "serialization": "encoding/decoding payloads for the process transport; avoid re-encoding unchanged arrays",
+}
+
+#: Schema identifier written into every profile report document.
+PROFILE_SCHEMA = "repro-profile-report/v1"
+
+
+def split_call_buckets(
+    wall: float,
+    dispatch_window: float = 0.0,
+    starts: Sequence[float] | None = None,
+    durations: Sequence[float] | None = None,
+    workers: int = 1,
+    ser_out: float = 0.0,
+    ser_in: float = 0.0,
+    parallel: bool = True,
+) -> dict[str, float]:
+    """Split one team call's ``wall`` seconds into the five buckets.
+
+    ``dispatch_window`` is the driver-side time from call entry to the
+    last command submitted (including ``ser_out``, which is subtracted
+    back out so serialization is not double-counted).  ``starts`` and
+    ``durations`` are per-task execution timestamps/durations on a
+    shared monotonic clock; ``workers`` is the pool width they could
+    overlap on.  ``ser_out``/``ser_in`` are measured encode/decode
+    seconds (zero for in-process backends).
+
+    Control calls (``parallel=False``) are orchestration by definition:
+    their execution and idle time folds into ``dispatch``, while any
+    measured serialization/transport stays in its own bucket — a pipe
+    round trip for a one-word control read is a transport problem, not a
+    compute problem.
+
+    The returned buckets are all ``>= 0`` and sum to exactly ``wall``.
+    """
+    wall = max(0.0, float(wall))
+    serialization = min(max(0.0, float(ser_out) + float(ser_in)), wall)
+    budget = wall - serialization
+    if durations:
+        busy = sum(durations)
+        width = max(1, min(int(workers), len(durations)))
+        compute = min(busy / width, budget)
+        budget -= compute
+        if starts and len(starts) == len(durations):
+            window = max(s + d for s, d in zip(starts, durations)) - min(starts)
+        else:
+            window = busy / width
+        barrier_wait = min(max(0.0, window - compute), budget)
+        budget -= barrier_wait
+    else:
+        compute = 0.0
+        barrier_wait = 0.0
+    dispatch = min(max(0.0, float(dispatch_window) - float(ser_out)), budget)
+    transport = budget - dispatch
+    if not parallel:
+        # Control plane: the call exists to orchestrate, so its execution
+        # window is orchestration cost, not engine compute.
+        dispatch += compute + barrier_wait
+        compute = 0.0
+        barrier_wait = 0.0
+    return {
+        "compute": compute,
+        "barrier_wait": barrier_wait,
+        "dispatch": dispatch,
+        "transport": transport,
+        "serialization": serialization,
+    }
+
+
+def _fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def _check_bucket_map(value: Any, where: str, errors: list[str]) -> None:
+    if not isinstance(value, Mapping):
+        _fail(errors, f"{where}: expected a bucket mapping, got {type(value).__name__}")
+        return
+    for bucket in BUCKETS:
+        if bucket not in value:
+            _fail(errors, f"{where}: missing bucket {bucket!r}")
+        elif not isinstance(value[bucket], (int, float)) or isinstance(value[bucket], bool):
+            _fail(errors, f"{where}.{bucket}: expected a number")
+
+
+def validate_profile_report(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid profile report.
+
+    Checks the ``repro-profile-report/v1`` contract: schema tag, bucket
+    tables (totals, shares, per-step), meta identity fields, and the
+    reconciliation invariant the acceptance bar cares about — bucket
+    seconds summing to the attributed total.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, Mapping):
+        raise ValueError(
+            f"profile report must be a JSON object, got {type(doc).__name__}"
+        )
+    schema = doc.get("schema")
+    if schema != PROFILE_SCHEMA:
+        _fail(errors, f"schema: expected {PROFILE_SCHEMA!r}, got {schema!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, Mapping):
+        _fail(errors, "meta: expected an object")
+    else:
+        for key in ("engine", "backend", "workers", "num_ranks"):
+            if key not in meta:
+                _fail(errors, f"meta: missing {key!r}")
+    for key in ("total_wall_s", "attributed_s", "coverage", "driver_s"):
+        if not isinstance(doc.get(key), (int, float)) or isinstance(doc.get(key), bool):
+            _fail(errors, f"{key}: expected a number")
+    _check_bucket_map(doc.get("buckets"), "buckets", errors)
+    _check_bucket_map(doc.get("bucket_shares"), "bucket_shares", errors)
+    steps = doc.get("steps")
+    if not isinstance(steps, list):
+        _fail(errors, "steps: expected a list")
+    else:
+        for i, step in enumerate(steps):
+            if not isinstance(step, Mapping):
+                _fail(errors, f"steps[{i}]: expected an object")
+                continue
+            _check_bucket_map(step.get("buckets"), f"steps[{i}].buckets", errors)
+            if not isinstance(step.get("wall_s"), (int, float)):
+                _fail(errors, f"steps[{i}].wall_s: expected a number")
+    diagnosis = doc.get("diagnosis")
+    if not isinstance(diagnosis, list):
+        _fail(errors, "diagnosis: expected a list")
+    else:
+        for i, entry in enumerate(diagnosis):
+            if not isinstance(entry, Mapping) or not {
+                "bucket", "seconds", "share", "hint"
+            } <= set(entry):
+                _fail(
+                    errors,
+                    f"diagnosis[{i}]: expected an object with "
+                    "bucket/seconds/share/hint",
+                )
+    ceilings = doc.get("ceilings")
+    if not isinstance(ceilings, Mapping):
+        _fail(errors, "ceilings: expected an object")
+    if not errors and isinstance(doc.get("buckets"), Mapping):
+        total = float(doc["total_wall_s"])
+        summed = sum(float(doc["buckets"][b]) for b in BUCKETS)
+        if total > 0 and abs(summed - total) > 0.05 * total:
+            _fail(
+                errors,
+                f"buckets sum to {summed:.6f}s but total_wall_s is "
+                f"{total:.6f}s (off by more than 5%)",
+            )
+    if errors:
+        raise ValueError(
+            "invalid profile report:\n  " + "\n  ".join(errors)
+        )

@@ -74,6 +74,23 @@ class RunReport:
                 yield span
                 parent_id = span.get("parent")
 
+        # Per-step task-duration distributions: rank_task events grouped by
+        # their nearest enclosing step span (microseconds, so sub-ms task
+        # durations spread across the power-of-two buckets).
+        tasks_by_step: dict[int, "object"] = {}
+        from repro.obs.metrics import Histogram
+
+        for r in records:
+            if r.get("type") != "event" or r.get("name") != "rank_task":
+                continue
+            for span in ancestry(r.get("parent")):
+                if span["name"] in _STEP_SPANS:
+                    hist = tasks_by_step.get(span["id"])
+                    if hist is None:
+                        hist = tasks_by_step[span["id"]] = Histogram()
+                    hist.observe(float(r.get("tags", {}).get("seconds", 0.0)) * 1e6)
+                    break
+
         summary: dict[tuple[str, str], dict] = {}
         for r in records:
             kind = r.get("type")
@@ -95,7 +112,7 @@ class RunReport:
                 if name == "allreduce":
                     report.allreduces += 1
                 elif name == "exchange":
-                    report.steps.append(cls._step_row(r, ancestry))
+                    report.steps.append(cls._step_row(r, ancestry, tasks_by_step))
                 elif name == "fault":
                     report.fault_events += 1
         report.span_summary = sorted(
@@ -109,7 +126,7 @@ class RunReport:
         return report
 
     @staticmethod
-    def _step_row(record: dict, ancestry) -> dict:
+    def _step_row(record: dict, ancestry, tasks_by_step=None) -> dict:
         tags = record.get("tags", {})
         row = {
             "root": -1,
@@ -119,6 +136,8 @@ class RunReport:
             "messages": int(tags.get("messages", 0)),
             "retry_bytes": int(tags.get("retry_bytes", 0)),
             "t_sim": record.get("t_sim"),
+            "task_p50_us": None,
+            "task_p99_us": None,
         }
         for t in _STEP_TAGS:
             row[t] = None
@@ -128,6 +147,12 @@ class RunReport:
                 for t in _STEP_TAGS:
                     if row[t] is None and t in stags:
                         row[t] = stags[t]
+                if tasks_by_step and row["task_p50_us"] is None:
+                    hist = tasks_by_step.get(span["id"])
+                    if hist is not None:
+                        p50, p99 = hist.percentile(0.50), hist.percentile(0.99)
+                        row["task_p50_us"] = round(p50, 3) if p50 is not None else None
+                        row["task_p99_us"] = round(p99, 3) if p99 is not None else None
             elif span["name"] == "root" and row["root"] == -1:
                 row["root"] = int(stags.get("index", stags.get("root", 0)))
         return row
@@ -208,6 +233,9 @@ class RunReport:
             peak = max(row["bytes"] for row in self.steps) or 1
             shown = self.steps[:max_rows]
             with_faults = self.retransmitted_bytes > 0
+            with_tasks = any(
+                row.get("task_p50_us") is not None for row in shown
+            )
             rows = []
             for row in shown:
                 out = {
@@ -220,6 +248,13 @@ class RunReport:
                     "edges": row["edges"] if row["edges"] is not None else "-",
                     "frontier": row["frontier"] if row["frontier"] is not None else "-",
                 }
+                if with_tasks:
+                    out["p50_us"] = (
+                        row["task_p50_us"] if row.get("task_p50_us") is not None else "-"
+                    )
+                    out["p99_us"] = (
+                        row["task_p99_us"] if row.get("task_p99_us") is not None else "-"
+                    )
                 if with_faults:
                     out["retry_B"] = row["retry_bytes"]
                 out["bar"] = "#" * int(30 * row["bytes"] / peak)

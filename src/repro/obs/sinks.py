@@ -11,6 +11,13 @@ JSON object format (``{"traceEvents": [...]}``) understood by
 (``ph: "i"``), and when simulated timestamps are present a second process
 track renders the run in simulated time — the machine model's view of the
 same execution.
+
+Per-rank lanes: ``rank_task`` events that carry a ``start`` timestamp
+(emitted by the executor when profiling) render as complete slices on a
+stable per-rank ``tid`` (rank ``r`` -> tid ``r + 2``; the driver keeps
+tid 1), each lane named via ``thread_name`` metadata — so a parallel
+phase shows as overlapping bars per rank instead of a flat instant
+stream on one row.
 """
 
 from __future__ import annotations
@@ -73,12 +80,24 @@ _SIM_PID = 2
 _SIM_SCALE = 1e6
 
 
+def _is_rank_slice(record: dict) -> bool:
+    """A ``rank_task`` event with absolute timestamps renders as a slice."""
+    return (
+        record["name"] == "rank_task"
+        and "start" in record.get("tags", {})
+        and "rank" in record.get("tags", {})
+    )
+
+
 def chrome_trace_events(records: list[dict]) -> list[dict]:
     """Re-shape tracer records into a Chrome ``traceEvents`` list."""
     spans = [r for r in records if r.get("type") == "span"]
     points = [r for r in records if r.get("type") == "event"]
+    # The epoch must precede every rendered timestamp, including task
+    # *starts* (which predate their event's emission time).
     t0 = min(
-        [r["t_wall"] for r in spans + points],
+        [r["t_wall"] for r in spans + points]
+        + [r["tags"]["start"] for r in points if _is_rank_slice(r)],
         default=0.0,
     )
     out: list[dict] = [
@@ -94,7 +113,35 @@ def chrome_trace_events(records: list[dict]) -> list[dict]:
             "name": "process_name",
             "args": {"name": "simulated time"},
         },
+        {
+            "ph": "M",
+            "pid": _WALL_PID,
+            "tid": 1,
+            "name": "thread_name",
+            "args": {"name": "driver"},
+        },
+        {
+            "ph": "M",
+            "pid": _SIM_PID,
+            "tid": 1,
+            "name": "thread_name",
+            "args": {"name": "driver"},
+        },
     ]
+    # One stable lane per rank, announced once via thread_name metadata.
+    ranks = sorted(
+        {int(r["tags"]["rank"]) for r in points if _is_rank_slice(r)}
+    )
+    for rank in ranks:
+        out.append(
+            {
+                "ph": "M",
+                "pid": _WALL_PID,
+                "tid": rank + 2,
+                "name": "thread_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
     for r in spans:
         args = dict(r.get("tags", {}))
         if r.get("dur_sim") is not None:
@@ -125,6 +172,21 @@ def chrome_trace_events(records: list[dict]) -> list[dict]:
                 }
             )
     for r in points:
+        if _is_rank_slice(r):
+            tags = r["tags"]
+            out.append(
+                {
+                    "ph": "X",
+                    "pid": _WALL_PID,
+                    "tid": int(tags["rank"]) + 2,
+                    "name": tags.get("method", "rank_task"),
+                    "cat": r.get("cat", ""),
+                    "ts": (tags["start"] - t0) * 1e6,
+                    "dur": tags.get("seconds", 0.0) * 1e6,
+                    "args": dict(tags),
+                }
+            )
+            continue
         out.append(
             {
                 "ph": "i",

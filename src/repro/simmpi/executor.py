@@ -51,6 +51,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.obs.profile import split_call_buckets
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.fabric import Message
 
@@ -188,20 +189,77 @@ class RankTeam:
         self._critical_path = 0.0
         self._sum_of_ranks = 0.0
 
-    def _account(self, method: str, durations: Sequence[float]) -> None:
+    def _account(
+        self,
+        method: str,
+        durations: Sequence[float],
+        starts: Sequence[float] | None = None,
+    ) -> None:
         self._critical_path += max(durations)
         self._sum_of_ranks += sum(durations)
         if self.tracer.enabled:
             # Emitted from the driver thread after the gather — the tracer
-            # is not thread-safe and workers must never touch it.
+            # is not thread-safe and workers must never touch it.  ``start``
+            # and ``end`` are absolute monotonic timestamps (comparable
+            # across forked workers); ``wait`` is this rank's barrier skew:
+            # how long it idled until the phase's slowest task finished.
+            phase_end = (
+                max(s + d for s, d in zip(starts, durations)) if starts else 0.0
+            )
             for rank, seconds in enumerate(durations):
+                extra = {}
+                if starts:
+                    extra = {
+                        "start": starts[rank],
+                        "end": starts[rank] + seconds,
+                        "wait": max(0.0, phase_end - (starts[rank] + seconds)),
+                    }
                 self.tracer.event(
                     "rank_task",
                     cat="executor",
                     method=method,
                     rank=rank,
                     seconds=seconds,
+                    **extra,
                 )
+
+    def _profile_call(
+        self,
+        method: str,
+        parallel: bool,
+        t_begin: float,
+        t_dispatched: float,
+        t_end: float,
+        starts: Sequence[float] | None,
+        durations: Sequence[float] | None,
+        ser_out: float = 0.0,
+        ser_in: float = 0.0,
+        spills: int = 0,
+    ) -> None:
+        """Emit one ``phase_call`` attribution event (tracer-on only)."""
+        wall = t_end - t_begin
+        buckets = split_call_buckets(
+            wall,
+            dispatch_window=t_dispatched - t_begin,
+            starts=starts,
+            durations=durations,
+            workers=self.num_workers,
+            ser_out=ser_out,
+            ser_in=ser_in,
+            parallel=parallel,
+        )
+        self.tracer.event(
+            "phase_call",
+            cat="executor",
+            method=method,
+            parallel=parallel,
+            backend=self.backend,
+            workers=self.num_workers,
+            ranks=self.num_ranks,
+            wall_s=wall,
+            spills=spills,
+            **{f"{name}_s": seconds for name, seconds in buckets.items()},
+        )
 
     def take_step_timing(self) -> tuple[float, float]:
         """Return and reset (critical_path, sum_of_ranks) wall seconds.
@@ -243,18 +301,28 @@ class SerialTeam(RankTeam):
         self.ranks = list(ranks)
 
     def call(self, method, per_rank=None, common=(), parallel=False):
+        profiling = self.tracer.enabled
+        timed = parallel or profiling
+        t_begin = time.perf_counter() if profiling else 0.0
         results = []
-        durations = [] if parallel else None
+        starts = [] if timed else None
+        durations = [] if timed else None
         for i, rank in enumerate(self.ranks):
             args = (tuple(per_rank[i]) + common) if per_rank is not None else common
-            if parallel:
+            if timed:
                 t0 = time.perf_counter()
                 results.append(getattr(rank, method)(*args))
+                starts.append(t0)
                 durations.append(time.perf_counter() - t0)
             else:
                 results.append(getattr(rank, method)(*args))
         if parallel:
-            self._account(method, durations)
+            self._account(method, durations, starts)
+        if profiling:
+            self._profile_call(
+                method, parallel, t_begin, t_begin, time.perf_counter(),
+                starts, durations,
+            )
         return results
 
     def call_one(self, rank, method, *args):
@@ -264,7 +332,7 @@ class SerialTeam(RankTeam):
 def _timed_call(rank_obj, method: str, args: tuple):
     t0 = time.perf_counter()
     result = getattr(rank_obj, method)(*args)
-    return result, time.perf_counter() - t0
+    return result, t0, time.perf_counter() - t0
 
 
 class ThreadTeam(RankTeam):
@@ -289,6 +357,8 @@ class ThreadTeam(RankTeam):
     def call(self, method, per_rank=None, common=(), parallel=False):
         if not parallel or self.num_ranks == 1:
             return SerialTeam.call(self, method, per_rank, common, parallel)
+        profiling = self.tracer.enabled
+        t_begin = time.perf_counter() if profiling else 0.0
         futures = [
             self._pool.submit(
                 _timed_call,
@@ -298,15 +368,23 @@ class ThreadTeam(RankTeam):
             )
             for i, rank in enumerate(self.ranks)
         ]
-        pairs = [f.result() for f in futures]  # rank order; re-raises
-        self._account(method, [d for _, d in pairs])
-        return [r for r, _ in pairs]
+        t_dispatched = time.perf_counter() if profiling else t_begin
+        triples = [f.result() for f in futures]  # rank order; re-raises
+        starts = [t0 for _, t0, _ in triples]
+        durations = [d for _, _, d in triples]
+        self._account(method, durations, starts)
+        if profiling:
+            self._profile_call(
+                method, True, t_begin, t_dispatched, time.perf_counter(),
+                starts, durations,
+            )
+        return [r for r, _, _ in triples]
 
     def call_one(self, rank, method, *args):
         return getattr(self.ranks[rank], method)(*args)
 
 
-def _worker_main(conn, ranks: dict) -> None:
+def _worker_main(conn, ranks: dict, profiled: bool = False) -> None:
     """Process-backend worker loop: decode, dispatch, encode, reply.
 
     Runs in a forked child that inherited ``ranks`` (its subset of the
@@ -314,6 +392,13 @@ def _worker_main(conn, ranks: dict) -> None:
     and remaining ranks also exist in this address space but are never
     touched — all interaction is the control pipe plus the shared-memory
     arenas named in each command.
+
+    ``profiled`` is latched at fork time from the team's tracer: when a
+    real tracer is attached, each reply carries the worker's measured
+    decode/encode seconds and per-task start timestamps (``perf_counter``
+    is CLOCK_MONOTONIC on Linux, so worker and driver timestamps share a
+    clock); when tracing is off only the existing per-task durations are
+    taken, keeping the hot path identical to before.
     """
     attached: dict[str, tuple] = {}  # role -> (name, buffer, close)
 
@@ -353,32 +438,44 @@ def _worker_main(conn, ranks: dict) -> None:
                 break
             _, method, common_meta, per_metas, only, cmd_name, rep_name, rep_size = msg
             cmd_buf = attach("cmd", cmd_name) if cmd_name else b""
+            dec_s = enc_s = 0.0
             try:
+                td = time.perf_counter() if profiled else 0.0
                 common = tuple(_decode(m, cmd_buf) for m in common_meta)
+                if profiled:
+                    dec_s += time.perf_counter() - td
                 writer = _PayloadWriter()
                 metas = []
                 for rk in only if only is not None else sorted(ranks):
                     if per_metas is not None:
+                        td = time.perf_counter() if profiled else 0.0
                         args = tuple(_decode(m, cmd_buf) for m in per_metas[rk])
+                        if profiled:
+                            dec_s += time.perf_counter() - td
                         args += common
                     else:
                         args = common
                     t0 = time.perf_counter()
                     result = getattr(ranks[rk], method)(*args)
                     duration = time.perf_counter() - t0
-                    metas.append((rk, _encode(result, writer), duration))
+                    metas.append((rk, _encode(result, writer), duration, t0))
             except BaseException:
                 conn.send(("err", method, traceback.format_exc()))
                 continue
+            te = time.perf_counter() if profiled else 0.0
             if writer.total <= rep_size:
                 writer.write_into(attach("rep", rep_name))
-                conn.send(("res", metas, True, writer.total))
+                if profiled:
+                    enc_s = time.perf_counter() - te
+                conn.send(("res", metas, True, writer.total, dec_s, enc_s))
             else:
                 # Reply outgrew the arena: spill this one over the pipe and
                 # report the size so the parent grows the arena for next time.
                 payload = bytearray(writer.total)
                 writer.write_into(payload)
-                conn.send(("res", metas, False, writer.total))
+                if profiled:
+                    enc_s = time.perf_counter() - te
+                conn.send(("res", metas, False, writer.total, dec_s, enc_s))
                 conn.send_bytes(bytes(payload))
     finally:
         for _, _, close in attached.values():
@@ -419,7 +516,11 @@ class ProcessTeam(RankTeam):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, {i: ranks[i] for i in self._rank_ids[w]}),
+                args=(
+                    child_conn,
+                    {i: ranks[i] for i in self._rank_ids[w]},
+                    self.tracer.enabled,
+                ),
                 daemon=True,
                 name=f"repro-rank-worker-{w}",
             )
@@ -446,13 +547,20 @@ class ProcessTeam(RankTeam):
         size = max(_MIN_ARENA, 1 << (nbytes - 1).bit_length())
         return shared_memory.SharedMemory(create=True, size=size)
 
-    def _dispatch(self, method, per_rank, common, only_rank=None):
-        """Send one command per (involved) worker; payloads via arenas."""
+    def _dispatch(self, method, per_rank, common, only_rank=None, profiling=False):
+        """Send one command per (involved) worker; payloads via arenas.
+
+        Returns ``(workers, ser_out)``: the workers commanded and the
+        measured parent-side encode + arena-write seconds (0.0 unless
+        ``profiling``).
+        """
         workers = (
             range(self.num_workers) if only_rank is None
             else (only_rank % self.num_workers,)
         )
+        ser_out = 0.0
         for w in workers:
+            t0 = time.perf_counter() if profiling else 0.0
             writer = _PayloadWriter()
             common_meta = tuple(_encode(a, writer) for a in common)
             per_metas = None
@@ -466,55 +574,96 @@ class ProcessTeam(RankTeam):
                 self._cmd[w] = self._grown(self._cmd[w], writer.total)
                 writer.write_into(self._cmd[w].buf)
                 cmd_name = self._cmd[w].name
+            if profiling:
+                ser_out += time.perf_counter() - t0
             only = None if only_rank is None else [only_rank]
             self._conns[w].send(
                 ("call", method, common_meta, per_metas, only,
                  cmd_name, self._rep[w].name, self._rep[w].size)
             )
-        return workers
+        return workers, ser_out
 
-    def _gather(self, workers, results, durations):
+    def _gather(self, workers, results, durations, starts=None, profiling=False):
+        """Collect one reply per worker; returns ``(ser_in, spills)``.
+
+        ``ser_in`` sums worker-side decode/encode seconds (carried in each
+        reply) plus the parent-side decode time when ``profiling``;
+        ``spills`` counts replies that overflowed the arena onto the pipe.
+        """
         failure = None
+        ser_in = 0.0
+        spills = 0
         for w in workers:
             msg = self._conns[w].recv()
             if msg[0] == "err":
                 if failure is None:
                     failure = (w, msg[1], msg[2])
                 continue
-            _, metas, used_arena, total = msg
+            _, metas, used_arena, total, worker_dec, worker_enc = msg
+            ser_in += worker_dec + worker_enc
             if used_arena:
                 buf = self._rep[w].buf
             else:
+                spills += 1
                 buf = self._conns[w].recv_bytes()
                 self._rep[w] = self._grown(self._rep[w], total)
-            for rk, meta, duration in metas:
+            t0 = time.perf_counter() if profiling else 0.0
+            for rk, meta, duration, start in metas:
                 results[rk] = _decode(meta, buf)
                 durations[rk] = duration
+                if starts is not None:
+                    starts[rk] = start
+            if profiling:
+                ser_in += time.perf_counter() - t0
         if failure is not None:
             w, method, tb = failure
             raise WorkerError(
                 f"rank worker {w} failed in {method!r}:\n{tb.rstrip()}"
             )
+        return ser_in, spills
 
     def call(self, method, per_rank=None, common=(), parallel=False):
         if self._closed:
             raise RuntimeError("team is closed")
+        profiling = self.tracer.enabled
+        t_begin = time.perf_counter() if profiling else 0.0
         if per_rank is not None:
             per_rank = {i: tuple(args) for i, args in enumerate(per_rank)}
-        workers = self._dispatch(method, per_rank, tuple(common))
+        workers, ser_out = self._dispatch(
+            method, per_rank, tuple(common), profiling=profiling
+        )
+        t_dispatched = time.perf_counter() if profiling else t_begin
         results: list = [None] * self.num_ranks
         durations = [0.0] * self.num_ranks
-        self._gather(workers, results, durations)
+        starts = [0.0] * self.num_ranks if profiling else None
+        ser_in, spills = self._gather(workers, results, durations, starts, profiling)
         if parallel:
-            self._account(method, durations)
+            self._account(method, durations, starts)
+        if profiling:
+            self._profile_call(
+                method, parallel, t_begin, t_dispatched, time.perf_counter(),
+                starts, durations, ser_out, ser_in, spills,
+            )
         return results
 
     def call_one(self, rank, method, *args):
         if self._closed:
             raise RuntimeError("team is closed")
-        workers = self._dispatch(method, {rank: args}, (), only_rank=rank)
+        profiling = self.tracer.enabled
+        t_begin = time.perf_counter() if profiling else 0.0
+        workers, ser_out = self._dispatch(
+            method, {rank: args}, (), only_rank=rank, profiling=profiling
+        )
+        t_dispatched = time.perf_counter() if profiling else t_begin
         results: list = [None] * self.num_ranks
-        self._gather(workers, results, [0.0] * self.num_ranks)
+        durations = [0.0] * self.num_ranks
+        starts = [0.0] * self.num_ranks if profiling else None
+        ser_in, spills = self._gather(workers, results, durations, starts, profiling)
+        if profiling:
+            self._profile_call(
+                method, False, t_begin, t_dispatched, time.perf_counter(),
+                [starts[rank]], [durations[rank]], ser_out, ser_in, spills,
+            )
         return results[rank]
 
     def close(self):

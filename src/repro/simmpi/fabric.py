@@ -168,7 +168,18 @@ class Fabric:
         to it (sources in rank order), or ``None`` when it received nothing.
         Charges one superstep of communication time:
         ``max over ranks of max(send time, recv time) + barrier``.
+
+        When tracing, the whole collective runs inside a ``fabric_exchange``
+        span: its *wall* duration is the driver-side cost of moving payloads
+        between ranks, which the profiler attributes to the transport
+        bucket (timing flows through the tracer, never ad-hoc clocks).
         """
+        with self.tracer.span("fabric_exchange", cat="fabric", kind="alltoallv"):
+            return self._exchange_body(outboxes)
+
+    def _exchange_body(
+        self, outboxes: list[Mapping[int, Message]]
+    ) -> list[Message | None]:
         if len(outboxes) != self.num_ranks:
             raise ValueError(f"need {self.num_ranks} outboxes, got {len(outboxes)}")
         p = self.num_ranks
@@ -389,8 +400,14 @@ class Fabric:
         """Reduce one scalar contribution per rank; all ranks get the result.
 
         Charged as a reduce+broadcast latency tree (payloads are a few
-        bytes, so only alpha matters).
+        bytes, so only alpha matters).  When tracing, the collective runs
+        inside a ``fabric_allreduce`` span whose wall duration the profiler
+        attributes to barrier wait (it is a synchronization point).
         """
+        with self.tracer.span("fabric_allreduce", cat="fabric", op=op):
+            return self._allreduce_body(values, op)
+
+    def _allreduce_body(self, values: np.ndarray, op: str) -> float:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.num_ranks,):
             raise ValueError(f"expected one value per rank, got shape {values.shape}")
@@ -419,7 +436,16 @@ class Fabric:
         ``alpha * log2(P) + total_bytes * beta`` — far cheaper than the
         P*(P-1) point-to-point emulation and the reason real codes use the
         collective for frontier bitmaps.
+
+        When tracing, the collective runs inside a ``fabric_allgather``
+        span; the profiler attributes its wall duration to transport.
         """
+        with self.tracer.span("fabric_allgather", cat="fabric"):
+            return self._allgather_body(contributions)
+
+    def _allgather_body(
+        self, contributions: list[Message | None]
+    ) -> list[Message | None]:
         if len(contributions) != self.num_ranks:
             raise ValueError(f"need {self.num_ranks} contributions, got {len(contributions)}")
         nonempty = [m for m in contributions if m is not None and len(m) > 0]

@@ -1,0 +1,144 @@
+"""PhaseAttribution: folding a synthetic record stream into the report."""
+
+import json
+
+import pytest
+
+from repro.analysis.attribution import PhaseAttribution
+from repro.obs.profile import BUCKETS, validate_profile_report
+
+
+def _span(id, name, dur, parent=None, **tags):
+    return {
+        "type": "span", "id": id, "parent": parent, "name": name,
+        "cat": "x", "t_wall": 0.0, "dur_wall": dur, "tags": tags,
+    }
+
+
+def _event(name, parent, **tags):
+    return {
+        "type": "event", "name": name, "parent": parent, "cat": "x",
+        "t_wall": 0.0, "tags": tags,
+    }
+
+
+def _phase_call(parent, wall, compute=0.0, barrier=0.0, dispatch=0.0,
+                transport=0.0, ser=0.0, spills=0):
+    return _event(
+        "phase_call", parent, method="m", parallel=True, wall_s=wall,
+        spills=spills, compute_s=compute, barrier_wait_s=barrier,
+        dispatch_s=dispatch, transport_s=transport, serialization_s=ser,
+    )
+
+
+@pytest.fixture
+def records():
+    """One solve span, two supersteps, a fabric collective, a control call."""
+    return [
+        {"type": "meta", "meta": {"engine": "dist1d", "num_ranks": 2}},
+        _span(1, "solve", 1.0, backend="thread", workers=2),
+        _span(2, "superstep", 0.5, parent=1, phase="relax", epoch=0,
+              critical_path=0.2, sum_of_ranks=0.35),
+        _phase_call(2, 0.4, compute=0.2, barrier=0.1, dispatch=0.06,
+                    transport=0.04, spills=1),
+        _event("rank_task", 2, rank=0, seconds=0.20, wait=0.00),
+        _event("rank_task", 2, rank=1, seconds=0.15, wait=0.05),
+        _span(3, "fabric_exchange", 0.1, parent=2, kind="alltoallv"),
+        _span(4, "superstep", 0.3, parent=1, phase="settle", epoch=1,
+              critical_path=0.1, sum_of_ranks=0.15),
+        _phase_call(4, 0.25, compute=0.15, barrier=0.05, dispatch=0.05),
+        # A control-plane call outside any step span.
+        _phase_call(None, 0.05, dispatch=0.05),
+    ]
+
+
+class TestFromRecords:
+    def test_totals_and_driver_residual(self, records):
+        att = PhaseAttribution.from_records(records)
+        assert att.total_wall_s == pytest.approx(1.0)
+        # 0.4 + 0.1 (fabric) + 0.25 + 0.05 directly measured.
+        assert att.attributed_s == pytest.approx(0.80)
+        assert att.driver_s == pytest.approx(0.20)
+        assert att.coverage == pytest.approx(0.80)
+        # The residual folds into dispatch so buckets still sum to total.
+        assert sum(att.buckets.values()) == pytest.approx(att.total_wall_s)
+
+    def test_bucket_accumulation(self, records):
+        att = PhaseAttribution.from_records(records)
+        assert att.buckets["compute"] == pytest.approx(0.35)
+        assert att.buckets["barrier_wait"] == pytest.approx(0.15)
+        # Fabric exchange wall lands in transport.
+        assert att.buckets["transport"] == pytest.approx(0.04 + 0.10)
+        # 0.06 + 0.05 + 0.05 control + 0.20 driver residual.
+        assert att.buckets["dispatch"] == pytest.approx(0.36)
+        assert att.spills == 1
+
+    def test_steps_and_control_row(self, records):
+        att = PhaseAttribution.from_records(records)
+        spans = [row["span"] for row in att.steps]
+        assert spans.count("superstep") == 2 and spans.count("control") == 1
+        # Sorted by descending wall.
+        assert att.steps[0]["phase"] == "relax"
+        assert att.steps[0]["wall_s"] == pytest.approx(0.5)
+        control = next(r for r in att.steps if r["span"] == "control")
+        assert control["phase"] == "control"
+        assert control["buckets"]["dispatch"] == pytest.approx(0.05)
+
+    def test_per_rank_and_imbalance(self, records):
+        att = PhaseAttribution.from_records(records)
+        assert att.per_rank_compute == pytest.approx([0.20, 0.15])
+        assert att.per_rank_wait == pytest.approx([0.00, 0.05])
+        # max/mean = 0.20 / 0.175
+        assert att.imbalance() == pytest.approx(0.20 / 0.175)
+
+    def test_ceilings(self, records):
+        att = PhaseAttribution.from_records(records)
+        c = att.ceilings
+        assert c["critical_path_s"] == pytest.approx(0.3)
+        assert c["sum_of_ranks_s"] == pytest.approx(0.5)
+        assert c["available_parallelism"] == pytest.approx(0.5 / 0.3)
+        assert c["workers"] == 2
+        # Amdahl: total / (total - compute + compute/workers)
+        assert c["amdahl_speedup_ceiling"] == pytest.approx(
+            1.0 / (1.0 - 0.35 + 0.175)
+        )
+
+    def test_meta_backfill_from_solve_tags(self, records):
+        att = PhaseAttribution.from_records(records)
+        assert att.meta["engine"] == "dist1d"
+        assert att.meta["backend"] == "thread"
+        assert att.meta["workers"] == 2
+        assert att.meta["num_ranks"] == 2
+
+    def test_diagnosis_ranked_and_dominant(self, records):
+        att = PhaseAttribution.from_records(records)
+        diag = att.diagnosis()
+        assert [d["bucket"] for d in diag] == sorted(
+            BUCKETS, key=lambda b: -att.buckets[b]
+        )
+        assert all("hint" in d for d in diag)
+        assert att.dominant_overhead() == "dispatch"
+
+    def test_no_solve_span_uses_attributed_total(self, records):
+        partial = [r for r in records if r.get("name") != "solve"]
+        att = PhaseAttribution.from_records(partial)
+        assert att.total_wall_s == pytest.approx(att.attributed_s)
+        assert att.driver_s == 0.0
+        assert att.coverage == pytest.approx(1.0)
+
+    def test_to_dict_is_schema_valid(self, records):
+        doc = PhaseAttribution.from_records(records).to_dict()
+        validate_profile_report(doc)  # must not raise
+        json.dumps(doc)  # and must be JSON-serializable
+
+    def test_render_text_names_the_dominant_bucket(self, records):
+        text = PhaseAttribution.from_records(records).render_text()
+        assert "dominant overhead is dispatch" in text
+        assert "wall-clock attribution" in text
+
+    def test_from_jsonl_roundtrip(self, records, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        att = PhaseAttribution.from_jsonl(path, meta={"engine": "dist1d"})
+        assert att.total_wall_s == pytest.approx(1.0)
+        assert att.buckets["compute"] == pytest.approx(0.35)

@@ -2,7 +2,10 @@
 
 import math
 
+import pytest
+
 from repro.obs import MetricsRegistry
+from repro.obs.metrics import Histogram
 from repro.utils.timing import Counters
 
 
@@ -72,3 +75,42 @@ class TestCountersBridge:
         reg.gauge("g").set(0.5)
         reg.histogram("h").observe(7)
         assert json.loads(json.dumps(reg.snapshot())) == reg.snapshot()
+
+
+class TestHistogramPercentile:
+    def test_empty_returns_none(self):
+        assert Histogram().percentile(0.5) is None
+
+    def test_q_out_of_range(self):
+        h = Histogram()
+        h.observe(1.0)
+        for q in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="percentile q"):
+                h.percentile(q)
+
+    def test_single_observation_is_exact(self):
+        h = Histogram()
+        h.observe(5.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.percentile(q) == 5.0
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = Histogram()
+        h.observe_many([3.0, 17.0, 250.0])
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(1.0) == 250.0
+
+    def test_uniform_interpolation(self):
+        # 1..100: the p50 target falls exactly mid-way through the
+        # (32, 64] bucket, which holds values 33..64 -> interpolates to 50.
+        h = Histogram()
+        h.observe_many(float(v) for v in range(1, 101))
+        assert h.percentile(0.50) == pytest.approx(50.0)
+        # p99 lands in the top bucket and clamps to the observed max.
+        assert h.percentile(0.99) <= 100.0
+
+    def test_monotone_in_q(self):
+        h = Histogram()
+        h.observe_many([0.5, 2.0, 6.0, 6.5, 40.0, 1000.0])
+        ps = [h.percentile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert ps == sorted(ps)

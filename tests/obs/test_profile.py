@@ -1,0 +1,159 @@
+"""Bucket-split arithmetic and the profile-report schema validator."""
+
+import math
+
+import pytest
+
+from repro.obs.profile import (
+    BUCKET_HINTS,
+    BUCKETS,
+    PROFILE_SCHEMA,
+    split_call_buckets,
+    validate_profile_report,
+)
+
+
+def total(buckets):
+    return sum(buckets[b] for b in BUCKETS)
+
+
+class TestSplitCallBuckets:
+    def test_buckets_partition_wall_exactly(self):
+        buckets = split_call_buckets(
+            1.0,
+            dispatch_window=0.15,
+            starts=[0.0, 0.01, 0.02, 0.03],
+            durations=[0.1, 0.2, 0.15, 0.12],
+            workers=2,
+            ser_out=0.05,
+            ser_in=0.03,
+        )
+        assert set(buckets) == set(BUCKETS)
+        assert math.isclose(total(buckets), 1.0, rel_tol=1e-12)
+        assert all(v >= 0.0 for v in buckets.values())
+
+    def test_compute_is_busy_over_width(self):
+        # 4 tasks of 0.1s on 2 workers: ideal compute is 0.2s.
+        buckets = split_call_buckets(
+            1.0, durations=[0.1] * 4, starts=[0.0, 0.0, 0.1, 0.1], workers=2
+        )
+        assert buckets["compute"] == pytest.approx(0.2)
+
+    def test_width_capped_by_task_count(self):
+        # 2 tasks on an 8-wide pool can overlap at most 2-wide.
+        buckets = split_call_buckets(1.0, durations=[0.2, 0.2], workers=8)
+        assert buckets["compute"] == pytest.approx(0.2)
+
+    def test_barrier_wait_is_window_minus_compute(self):
+        # Window [0.0, 0.5], busy 0.6 over 2 workers -> compute 0.3,
+        # stragglers stretch the window to 0.5 -> 0.2 of barrier skew.
+        buckets = split_call_buckets(
+            1.0, durations=[0.1, 0.5], starts=[0.0, 0.0], workers=2
+        )
+        assert buckets["compute"] == pytest.approx(0.3)
+        assert buckets["barrier_wait"] == pytest.approx(0.2)
+
+    def test_serialization_not_double_counted_in_dispatch(self):
+        # Encode time happens inside the dispatch window; it must land in
+        # serialization only.
+        buckets = split_call_buckets(1.0, dispatch_window=0.3, ser_out=0.2)
+        assert buckets["serialization"] == pytest.approx(0.2)
+        assert buckets["dispatch"] == pytest.approx(0.1)
+
+    def test_transport_takes_the_remainder(self):
+        buckets = split_call_buckets(1.0, dispatch_window=0.25)
+        assert buckets["transport"] == pytest.approx(0.75)
+
+    def test_measured_quantities_clamped_to_wall(self):
+        # Clock skew / rounding can make measurements exceed the wall;
+        # the clamp chain still partitions exactly.
+        buckets = split_call_buckets(
+            0.1,
+            dispatch_window=0.5,
+            durations=[0.2, 0.2],
+            starts=[0.0, 0.0],
+            workers=1,
+            ser_out=0.05,
+            ser_in=0.04,
+        )
+        assert math.isclose(total(buckets), 0.1, rel_tol=1e-12)
+        assert all(v >= 0.0 for v in buckets.values())
+
+    def test_control_call_folds_into_dispatch(self):
+        busy = split_call_buckets(
+            1.0, durations=[0.3, 0.3], starts=[0.0, 0.3], workers=1,
+            parallel=False,
+        )
+        assert busy["compute"] == 0.0
+        assert busy["barrier_wait"] == 0.0
+        assert busy["dispatch"] >= 0.6
+        assert math.isclose(total(busy), 1.0, rel_tol=1e-12)
+
+    def test_zero_and_negative_wall(self):
+        assert total(split_call_buckets(0.0)) == 0.0
+        assert total(split_call_buckets(-0.5)) == 0.0
+
+
+def _valid_doc():
+    zero = {b: 0.0 for b in BUCKETS}
+    return {
+        "schema": PROFILE_SCHEMA,
+        "meta": {"engine": "dist1d", "backend": "serial", "workers": 1,
+                 "num_ranks": 4},
+        "total_wall_s": 1.0,
+        "attributed_s": 0.98,
+        "coverage": 0.98,
+        "driver_s": 0.02,
+        "buckets": {**zero, "compute": 0.7, "dispatch": 0.3},
+        "bucket_shares": {**zero, "compute": 0.7, "dispatch": 0.3},
+        "steps": [{"wall_s": 1.0, "buckets": dict(zero)}],
+        "phases": [],
+        "diagnosis": [
+            {"bucket": "dispatch", "seconds": 0.3, "share": 0.3,
+             "hint": BUCKET_HINTS["dispatch"]},
+        ],
+        "ceilings": {"amdahl_speedup_ceiling": 1.0},
+    }
+
+
+class TestValidateProfileReport:
+    def test_valid_document_passes(self):
+        validate_profile_report(_valid_doc())
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_profile_report([1, 2, 3])
+
+    def test_wrong_schema_rejected(self):
+        doc = _valid_doc()
+        doc["schema"] = "something/v9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_profile_report(doc)
+
+    def test_missing_meta_keys_rejected(self):
+        doc = _valid_doc()
+        del doc["meta"]["backend"]
+        with pytest.raises(ValueError, match="backend"):
+            validate_profile_report(doc)
+
+    def test_missing_bucket_rejected(self):
+        doc = _valid_doc()
+        del doc["buckets"]["transport"]
+        with pytest.raises(ValueError, match="transport"):
+            validate_profile_report(doc)
+
+    def test_unreconciled_totals_rejected(self):
+        doc = _valid_doc()
+        doc["buckets"]["compute"] = 0.1  # buckets now sum to 0.4 of 1.0
+        with pytest.raises(ValueError, match="more than 5%"):
+            validate_profile_report(doc)
+
+    def test_all_errors_reported_at_once(self):
+        doc = _valid_doc()
+        doc["schema"] = "nope"
+        del doc["meta"]["engine"]
+        doc["steps"] = "not-a-list"
+        with pytest.raises(ValueError) as err:
+            validate_profile_report(doc)
+        message = str(err.value)
+        assert "schema" in message and "engine" in message and "steps" in message

@@ -125,3 +125,118 @@ class TestTelemetryWorkflow:
         assert rc == 0
         assert "per-superstep timeline" in out
         assert "supersteps:" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_attribution_and_writes_report(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.profile import PROFILE_SCHEMA, validate_profile_report
+
+        report = tmp_path / "profile.json"
+        chrome = tmp_path / "lanes.json"
+        rc = main(
+            [
+                "profile", "--scale", "8", "--ranks", "2",
+                "--engine", "dist1d", "--executor", "serial",
+                "--out", str(report), "--chrome-out", str(chrome),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wall-clock attribution" in out
+        assert "dominant overhead is" in out
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == PROFILE_SCHEMA
+        validate_profile_report(doc)
+        assert doc["meta"]["engine"] == "dist1d"
+        assert doc["meta"]["backend"] == "serial"
+        # The chrome export carries the per-rank lanes.
+        events = json.loads(chrome.read_text())["traceEvents"]
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "rank 0" in lanes and "rank 1" in lanes
+
+    def test_profile_with_faults_still_reconciles(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.profile import validate_profile_report
+
+        report = tmp_path / "profile.json"
+        rc = main(
+            [
+                "profile", "--scale", "8", "--ranks", "2",
+                "--engine", "bfs", "--faults", "drop=0.1,seed=7",
+                "--out", str(report),
+            ]
+        )
+        assert rc == 0
+        validate_profile_report(json.loads(report.read_text()))
+
+
+class TestBenchDiffCommand:
+    @staticmethod
+    def _doc(path, **engines):
+        import json
+
+        path.write_text(
+            json.dumps(
+                {"engines": {k: {"wall_seconds": v} for k, v in engines.items()}}
+            )
+        )
+        return str(path)
+
+    def test_improvement_exits_zero(self, capsys, tmp_path):
+        old = self._doc(tmp_path / "old.json", dist1d=1.0)
+        new = self._doc(tmp_path / "new.json", dist1d=0.7)
+        rc = main(["bench", "diff", old, new])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "improved" in out and "OK:" in out
+
+    def test_regression_past_threshold_exits_one(self, capsys, tmp_path):
+        old = self._doc(tmp_path / "old.json", **{"dist1d@process": 1.0})
+        new = self._doc(tmp_path / "new.json", **{"dist1d@process": 1.4})
+        rc = main(["bench", "diff", old, new, "--max-regression", "0.2"])
+        err = capsys.readouterr()
+        assert rc == 1
+        assert "dist1d@process" in err.out
+        assert "FAIL" in err.out
+
+    def test_malformed_document_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        good = self._doc(tmp_path / "good.json", dist1d=1.0)
+        rc = main(["bench", "diff", str(bad), good])
+        assert rc == 2
+        assert "bench diff" in capsys.readouterr().err
+
+    def test_profile_reports_diffable(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.profile import BUCKETS, PROFILE_SCHEMA
+
+        def prof(path, total):
+            path.write_text(
+                json.dumps(
+                    {
+                        "schema": PROFILE_SCHEMA,
+                        "total_wall_s": total,
+                        "buckets": {b: total / len(BUCKETS) for b in BUCKETS},
+                    }
+                )
+            )
+            return str(path)
+
+        rc = main(
+            [
+                "bench", "diff",
+                prof(tmp_path / "o.json", 1.0), prof(tmp_path / "n.json", 1.05),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "total_wall" in out and "bucket:compute" in out
