@@ -9,7 +9,8 @@ win while keeping bottom-up communication at bitmap cost.
 
 import numpy as np
 
-from repro.bfs import bfs, distributed_bfs, validate_bfs
+from repro.bfs import bfs, validate_bfs
+from repro.bfs.dist_bfs import _distributed_bfs as distributed_bfs
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table

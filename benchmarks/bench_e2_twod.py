@@ -9,8 +9,8 @@ simulated time — the crossover is a fan-out effect that grows with P.
 
 import numpy as np
 
-from repro.core.dist_sssp import distributed_sssp
-from repro.core.twod_engine import distributed_sssp_2d
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
+from repro.core.twod_engine import _distributed_sssp_2d as distributed_sssp_2d
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table

@@ -13,7 +13,7 @@ totals must agree byte for byte.
 
 import numpy as np
 
-from repro.core.dist_sssp import distributed_sssp
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table

@@ -14,7 +14,7 @@ than reaching into ``CommTrace`` internals.
 import numpy as np
 
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import distributed_sssp
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table

@@ -11,7 +11,8 @@ parallel; the optimized engine beats the simple one on traffic.
 import numpy as np
 
 from repro.baselines import bellman_ford, dijkstra, frontier_bellman_ford, simple_distributed_sssp
-from repro.core import delta_stepping, distributed_sssp
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.report import render_table

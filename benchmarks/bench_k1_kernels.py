@@ -1,0 +1,105 @@
+"""K1 — wall-clock of the vertex kernels on the superstep substrate.
+
+Times the whole-graph kernels (connected components, PageRank, k-core)
+under each rank-execution backend on the same graph, min-of-N.  The
+kernels run on the generic superstep engine (``repro.engine``) behind the
+``repro.run(kernel=...)`` facade, so this document is the perf receipt
+for the substrate itself: frontier extraction, owner routing, fabric
+exchange and apply-side reduction — everything a ~100-line kernel does
+*not* implement.
+
+Each entry carries a sha256 of its answer arrays, and the run aborts if
+any kernel's digest differs across backends — the document witnesses
+bitwise backend equivalence, not just speed.  Oracle correctness (labels
+vs. sequential label propagation, ranks vs. dense power iteration,
+coreness vs. sequential peeling) is pinned by ``tests/engine/``.
+
+Usage:
+
+    # Full protocol (the committed headline numbers):
+    python benchmarks/bench_k1_kernels.py --scale 14 --ranks 16 \
+        --workers 4 --repeats 3 --out benchmarks/results/BENCH_K1.json
+
+    # CI kernel-smoke: small scale, gate on the committed baseline:
+    python benchmarks/bench_k1_kernels.py --scale 10 --ranks 8 \
+        --repeats 3 --backends serial thread \
+        --check benchmarks/results/BENCH_K1_smoke.json
+
+``--check`` exits non-zero if any (kernel, backend) pair's wall-clock
+regresses more than ``--max-regression`` (default 50% — parallel timings
+on shared CI runners are noisy) past the baseline document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.perfbench import (
+    DEFAULT_BACKENDS,
+    DEFAULT_KERNELS,
+    check_regression,
+    dump_json,
+    load_json,
+    run_kernel_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=14)
+    parser.add_argument("--ranks", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--kernels", nargs="+", default=list(DEFAULT_KERNELS), choices=DEFAULT_KERNELS
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["serial", "thread"],
+        choices=DEFAULT_BACKENDS,
+    )
+    parser.add_argument("--out", default=None, help="write the JSON document here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (CI kernel-smoke mode)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.50)
+    args = parser.parse_args(argv)
+
+    doc = run_kernel_bench(
+        args.scale,
+        args.ranks,
+        kernels=tuple(args.kernels),
+        backends=tuple(args.backends),
+        workers=args.workers,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"kernel-smoke OK (within {args.max_regression:.0%} of {args.check})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

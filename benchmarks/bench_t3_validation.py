@@ -8,7 +8,8 @@ for acceptance plus one per corruption type for rejection.
 import numpy as np
 
 from repro.baselines import bellman_ford, dijkstra
-from repro.core import delta_stepping, distributed_sssp
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph.synth import grid_graph, random_graph, star_graph

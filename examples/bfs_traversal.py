@@ -31,7 +31,7 @@ def main() -> None:
 
     print("\n== Distributed BFS (16 ranks)")
     for direction in ("top_down", "auto"):
-        run = run_engine(graph, src, engine="bfs", num_ranks=16, direction=direction)
+        run = run_engine(graph, src, kernel="bfs", num_ranks=16, direction=direction)
         assert validate_bfs(graph, run.result).ok
         print(f"   {direction:10s} {run.comm['total_bytes']:>9d} wire bytes, "
               f"{run.modeled_time*1e3:.3f} ms simulated, "

@@ -1,34 +1,32 @@
 """repro — reproduction of "Scaling Graph 500 SSSP to 140 Trillion Edges
 with over 40 Million Cores" (SC 2022).
 
-The recommended entry point is the unified engine facade :func:`repro.run`
+The one entry point is the unified kernel facade :func:`repro.run`
 (alias of :func:`repro.api.run`):
 
 >>> from repro import build_csr, generate_kronecker, run
 >>> graph = build_csr(generate_kronecker(12))
->>> out = run(graph, source=0, engine="dist1d", num_ranks=8)
+>>> out = run(graph, source=0, kernel="sssp", engine="dist1d", num_ranks=8)
 >>> out.result.dist, out.modeled_time, out.report()
+>>> out.result.validate(graph)      # uniform oracle check, any kernel
 
-The same call runs any engine (``dist1d``, ``dist2d``, ``bfs``,
-``shared``), and accepts ``faults="drop=0.01,delay=2us,seed=7"`` to inject
+``kernel=`` picks the computation (``sssp``, ``bfs``, ``cc``,
+``pagerank``, ``kcore``); ``engine=`` picks the layout (``dist1d``,
+``dist2d``, ``shared``) — orthogonal axes, same answer either way.  The
+facade also accepts ``faults="drop=0.01,delay=2us,seed=7"`` to inject
 deterministic fabric faults — answers stay bit-identical; only modeled
 time and retransmission accounting change.
 
 The historical per-engine functions (``distributed_sssp``,
-``delta_stepping``, ...) remain as deprecated wrappers.
+``delta_stepping``, ...) have been removed; calling the stubs that remain
+in ``repro.core``/``repro.bfs`` raises ``RuntimeError`` pointing here.
 
 See README.md for the architecture overview and DESIGN.md for the
 reproduction methodology (what is measured vs. modeled).
 """
 
-from repro.api import run
-from repro.core import (
-    SSSPConfig,
-    SSSPResult,
-    choose_delta,
-    delta_stepping,
-    distributed_sssp,
-)
+from repro.api import ENGINES, KERNELS, run
+from repro.core import SSSPConfig, SSSPResult, choose_delta
 from repro.graph import build_csr, generate_kronecker
 from repro.graph500 import run_graph500_sssp, validate_sssp
 from repro.simmpi import (
@@ -40,19 +38,19 @@ from repro.simmpi import (
     sunway_exascale,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ENGINES",
     "FaultPlan",
     "FaultSpec",
+    "KERNELS",
     "MachineSpec",
     "SSSPConfig",
     "SSSPResult",
     "__version__",
     "build_csr",
     "choose_delta",
-    "delta_stepping",
-    "distributed_sssp",
     "generate_kronecker",
     "parse_faults",
     "run",

@@ -1,24 +1,34 @@
-"""Deprecation plumbing for the legacy per-engine entry points.
+"""Deprecation plumbing for retired and aliased entry points.
 
 The four historical functions (``distributed_sssp``, ``distributed_sssp_2d``,
-``distributed_bfs``, ``delta_stepping``) remain supported as thin wrappers,
-but :func:`repro.api.run` is the recommended entry point — one facade, one
-signature, one :class:`~repro.api.RunSummary` shape for every engine.
+``distributed_bfs``, ``delta_stepping``) spent one release as
+DeprecationWarning wrappers and are now hard stubs: calling one raises
+:class:`RuntimeError` pointing at :func:`repro.api.run` — one facade, one
+kernel registry, one :class:`~repro.api.RunSummary` shape for every engine.
+Aliases that still *work* but are discouraged (the ``engine="bfs"`` layout
+alias, the CLI ``bfs`` subcommand) warn instead.
 """
 
 from __future__ import annotations
 
 import warnings
+from typing import NoReturn
 
-__all__ = ["warn_legacy"]
+__all__ = ["legacy_removed", "warn_alias"]
 
 
-def warn_legacy(old_name: str, engine: str) -> None:
-    """Emit the standard deprecation warning for a legacy entry point."""
+def legacy_removed(old_name: str, replacement: str) -> NoReturn:
+    """Raise the standard error for a retired legacy entry point."""
+    raise RuntimeError(
+        f"{old_name}() was removed; call {replacement} — the unified "
+        "kernel-registry facade (same answer, uniform RunSummary interface)"
+    )
+
+
+def warn_alias(old_spelling: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a still-working alias."""
     warnings.warn(
-        f"{old_name}() is a legacy entry point; prefer "
-        f"repro.api.run(graph, source, engine={engine!r}, ...), the unified "
-        "facade (same answer, uniform RunSummary interface)",
+        f"{old_spelling} is a deprecated alias; prefer {replacement}",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -47,13 +47,16 @@ __all__ = [
     "bench_engine",
     "run_bench",
     "run_parallel_bench",
+    "run_kernel_bench",
     "check_regression",
     "DEFAULT_ENGINES",
     "DEFAULT_BACKENDS",
+    "DEFAULT_KERNELS",
 ]
 
 DEFAULT_ENGINES = ("dist1d", "dist2d", "bfs")
 DEFAULT_BACKENDS = ("serial", "thread", "process")
+DEFAULT_KERNELS = ("cc", "pagerank", "kcore")
 
 
 def _run_once(
@@ -63,6 +66,15 @@ def _run_once(
     num_ranks: int,
     executor: RankExecutor | None = None,
 ):
+    if engine == "bfs":
+        # Historical doc key: "bfs" names the distributed BFS kernel on the
+        # 1-D layout (the facade spells it kernel="bfs" since the registry).
+        return api.run(
+            graph, source, kernel="bfs", num_ranks=num_ranks, executor=executor
+        )
+    if engine in DEFAULT_KERNELS:
+        # Whole-graph kernel rows (the K1 protocol): no source vertex.
+        return api.run(graph, kernel=engine, num_ranks=num_ranks, executor=executor)
     return api.run(graph, source, engine=engine, num_ranks=num_ranks, executor=executor)
 
 
@@ -71,6 +83,12 @@ def _result_sha256(result: Any) -> str:
     h = hashlib.sha256()
     if hasattr(result, "dist"):
         h.update(np.ascontiguousarray(result.dist).tobytes())
+    elif hasattr(result, "labels"):
+        h.update(np.ascontiguousarray(result.labels).tobytes())
+    elif hasattr(result, "ranks"):
+        h.update(np.ascontiguousarray(result.ranks).tobytes())
+    elif hasattr(result, "coreness"):
+        h.update(np.ascontiguousarray(result.coreness).tobytes())
     else:
         h.update(np.ascontiguousarray(result.parent).tobytes())
         h.update(np.ascontiguousarray(result.level).tobytes())
@@ -217,6 +235,62 @@ def run_parallel_bench(
                 doc["speedup"][f"{engine}@{backend}"] = (
                     serial_wall / entry["wall_seconds"]
                 )
+    return doc
+
+
+def run_kernel_bench(
+    scale: int,
+    num_ranks: int,
+    kernels: tuple[str, ...] = DEFAULT_KERNELS,
+    backends: tuple[str, ...] = ("serial", "thread"),
+    workers: int = 4,
+    repeats: int = 3,
+    seed: int = 2022,
+) -> dict[str, Any]:
+    """Run the K1 vertex-kernel protocol; returns a JSON-ready document.
+
+    Times the whole-graph kernels (cc, pagerank, kcore) on the substrate
+    under each rank-execution backend.  Entries land under
+    ``engines["{kernel}@{backend}"]`` so :func:`check_regression` and
+    ``bench diff`` gate the document unchanged, and each entry carries a
+    sha256 digest of the answer arrays — the document witnesses that the
+    backends agreed bitwise, not just that they were fast.
+    """
+    graph = build_csr(generate_kronecker(scale, seed=seed))
+    source = int(np.argmax(graph.out_degree))  # unused by whole-graph kernels
+    doc: dict[str, Any] = {
+        "benchmark": "K1_kernels",
+        "scale": scale,
+        "num_ranks": num_ranks,
+        "seed": seed,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "repeats": repeats,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "engines": {},
+    }
+    for kernel in kernels:
+        digests = set()
+        for backend in backends:
+            entry = bench_engine(
+                graph,
+                source,
+                kernel,
+                num_ranks,
+                repeats=repeats,
+                executor=backend,
+                workers=None if backend == "serial" else workers,
+                trace_memory=False,
+                digest=True,
+            )
+            doc["engines"][f"{kernel}@{backend}"] = entry
+            digests.add(entry["result_sha256"])
+        if len(digests) > 1:
+            raise AssertionError(
+                f"kernel {kernel!r} answers diverged across backends: "
+                f"{sorted(digests)}"
+            )
     return doc
 
 

@@ -1,27 +1,39 @@
-"""The unified engine API: one ``run()`` facade over every SSSP/BFS engine.
+"""The unified kernel API: one ``run()`` facade over every graph kernel.
 
-Historically the package grew four divergent entry points
-(``distributed_sssp``, ``distributed_sssp_2d``, ``distributed_bfs``,
-``delta_stepping``), each with its own signature and its own run-object
-shape.  This module is the single recommended front door:
+The package computes five kernels — SSSP (the paper's algorithm), BFS
+(Graph500 kernel 2), connected components, PageRank and k-core — and this
+module is the single front door to all of them:
 
->>> from repro import api
->>> run = api.run(graph, source, engine="dist1d", num_ranks=8)
->>> run.result.dist          # the answer (bit-identical to the oracle)
->>> run.modeled_time         # simulated seconds the cost model charged
->>> run.comm                 # exact communication statistics
->>> run.report()             # uniform engine-agnostic report dict
+>>> from repro import run
+>>> out = run(graph, 0, kernel="sssp", engine="dist1d", num_ranks=8)
+>>> out.result.dist              # the answer (bit-identical to the oracle)
+>>> out.result.validate(graph)   # uniform oracle check, any kernel
+>>> out.modeled_time             # simulated seconds the cost model charged
+>>> out.report()                 # uniform kernel-agnostic report dict
 
-Every engine returns an object satisfying the :class:`RunSummary` protocol,
-and every engine accepts the same cross-cutting knobs — ``machine``
-(the simulated hardware), ``config`` (:class:`~repro.core.config.SSSPConfig`),
-``faults`` (a :class:`~repro.simmpi.faults.FaultSpec` / plan / CLI string
-injected at the fabric), and ``tracer`` (run telemetry).  Engine-specific
-extras (``grid`` for the 2-D engine, ``direction`` for BFS, ...) pass
+``kernel=`` selects *what* to compute; ``engine=`` selects *where and
+how* — ``dist1d`` (1-D partitioned ranks over the simulated fabric),
+``dist2d`` (checkerboard grid; SSSP only), or ``shared`` (the in-process
+sequential kernel, no cost model).  The two axes are orthogonal: every
+kernel runs on ``dist1d`` and ``shared``, and flipping ``engine=`` never
+changes the answer.
+
+``source=`` is required for the traversal kernels (``sssp``, ``bfs``)
+and must be omitted for the whole-graph kernels (``cc``, ``pagerank``,
+``kcore``).  Every run returns an object satisfying the
+:class:`RunSummary` protocol, whose kernel-typed ``result`` (distances /
+parent+level / labels / ranks / coreness) carries a uniform
+``validate(graph)`` hook checking it against a sequential oracle.
+
+Cross-cutting knobs — ``machine``, ``faults``, ``sanitize``, ``tracer``,
+``executor``/``workers`` — mean the same thing for every distributed
+kernel.  Kernel-specific extras (``grid`` for ``dist2d``, ``direction``
+for BFS, ``damping``/``iterations``/``tol`` for PageRank, ...) pass
 through as keyword arguments.
 
-The legacy functions remain as thin deprecated wrappers around the same
-engine implementations; new code should not call them.
+The four historical per-engine entry points (``distributed_sssp``,
+``distributed_sssp_2d``, ``distributed_bfs``, ``delta_stepping``) have
+been removed; calling them raises :class:`RuntimeError` pointing here.
 """
 
 from __future__ import annotations
@@ -29,42 +41,54 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro._deprecation import warn_alias
+from repro.bfs.dist_bfs import _distributed_bfs
+from repro.bfs.kernel import bfs as _shared_bfs
 from repro.core.config import SSSPConfig
 from repro.core.delta_stepping import _delta_stepping
 from repro.core.dist_sssp import _distributed_sssp
 from repro.core.result import SSSPResult
 from repro.core.twod_engine import _distributed_sssp_2d
-from repro.bfs.dist_bfs import _distributed_bfs
+from repro.engine.protocol import run_kernel
+from repro.engine.results import CorenessResult, LabelsResult, RanksResult
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import Tracer
 from repro.simmpi.executor import RankExecutor
 from repro.simmpi.faults import FaultPlan, FaultSpec
 from repro.simmpi.machine import MachineSpec
 
-__all__ = ["ENGINES", "RunSummary", "SharedRun", "run"]
+__all__ = ["ENGINES", "KERNELS", "RunSummary", "SharedRun", "run"]
 
-#: Engine names accepted by :func:`run`, in documentation order.
-ENGINES = ("dist1d", "dist2d", "bfs", "shared")
+#: Kernel names accepted by :func:`run`, in documentation order.
+KERNELS = ("sssp", "bfs", "cc", "pagerank", "kcore")
+
+#: Engine (layout) names accepted by :func:`run`, in documentation order.
+ENGINES = ("dist1d", "dist2d", "shared")
 
 
 @runtime_checkable
 class RunSummary(Protocol):
-    """What every engine's run object guarantees.
+    """What every kernel's run object guarantees.
 
     Attributes:
         engine: short engine name (``dist1d``/``dist2d``/``bfs``/``shared``).
-        result: the engine's answer object (distances/parents + counters).
+        kernel: the kernel computed (``sssp``/``bfs``/``cc``/``pagerank``/
+            ``kcore``).
+        result: the kernel-typed answer object (with counters, meta and a
+            ``validate(graph)`` oracle check).
         modeled_time: simulated seconds charged by the cost model (0.0 for
-            the shared-memory kernel, which has no cost model).
+            the shared engine, which has no cost model).
         comm: exact communication statistics (``CommTrace.summary()``
-            shape; empty for the shared-memory kernel).
+            shape; empty for the shared engine).
 
     Methods:
-        report: one engine-agnostic dict (engine, num_ranks, modeled_time,
-            time_breakdown, comm, counters, work_imbalance, meta).
+        report: one kernel-agnostic dict (engine, kernel, num_ranks,
+            modeled_time, time_breakdown, comm, counters, work_imbalance,
+            meta).
     """
 
     engine: str
+    kernel: str
 
     @property
     def result(self): ...
@@ -80,9 +104,9 @@ class RunSummary(Protocol):
 
 @dataclass
 class SharedRun:
-    """RunSummary wrapper for the shared-memory ∆-stepping kernel.
+    """RunSummary wrapper for the in-process sequential kernels.
 
-    The shared kernel has no fabric and no cost model, so ``modeled_time``
+    The shared engine has no fabric and no cost model, so ``modeled_time``
     is 0.0 and ``comm`` is empty — the uniform interface still holds, which
     is what lets callers flip ``engine=`` without restructuring.
     """
@@ -90,6 +114,7 @@ class SharedRun:
     engine = "shared"
 
     result: SSSPResult
+    kernel: str = "sssp"
     meta: dict = field(default_factory=dict)
 
     @property
@@ -107,6 +132,7 @@ class SharedRun:
     def report(self) -> dict:
         return {
             "engine": self.engine,
+            "kernel": self.kernel,
             "num_ranks": 1,
             "modeled_time": 0.0,
             "time_breakdown": {},
@@ -117,11 +143,53 @@ class SharedRun:
         }
 
 
-def _run_dist1d(
+def _reject_extra(kernel: str, engine: str, extra: dict) -> None:
+    if extra:
+        raise TypeError(
+            f"kernel {kernel!r} on engine {engine!r} got unexpected keyword "
+            f"arguments: {sorted(extra)}"
+        )
+
+
+def _reject_config(kernel: str, config, hint: str) -> None:
+    if config is not None:
+        raise ValueError(f"kernel {kernel!r} takes no SSSPConfig; {hint}")
+
+
+def _reject_fabric_knobs(
+    kernel: str, *, machine, faults, sanitize, executor, workers
+) -> None:
+    """The shared engine has no fabric; every fabric knob is an error."""
+    if machine is not None:
+        raise ValueError(
+            "engine 'shared' runs in-process without a cost model; "
+            "machine= does not apply (use a distributed engine)"
+        )
+    if faults is not None:
+        raise ValueError(
+            "engine 'shared' has no fabric to inject faults into; "
+            "faults= requires a distributed engine"
+        )
+    if sanitize:
+        raise ValueError(
+            "engine 'shared' has no fabric to sanitize; sanitize=True "
+            "requires a distributed engine"
+        )
+    if executor is not None or workers is not None:
+        raise ValueError(
+            "engine 'shared' runs in-process with no simulated ranks to "
+            "parallelize; executor=/workers= require a distributed engine"
+        )
+
+
+# -- per-(kernel, engine) dispatchers ---------------------------------------
+
+
+def _run_sssp_dist1d(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
     executor, workers, **extra
 ):
-    _reject_extra("dist1d", extra)
+    _reject_extra("sssp", "dist1d", extra)
     return _distributed_sssp(
         graph,
         source,
@@ -136,12 +204,12 @@ def _run_dist1d(
     )
 
 
-def _run_dist2d(
+def _run_sssp_dist2d(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
     executor, workers, **extra
 ):
     grid = extra.pop("grid", None)
-    _reject_extra("dist2d", extra)
+    _reject_extra("sssp", "dist2d", extra)
     return _distributed_sssp_2d(
         graph,
         source,
@@ -157,19 +225,36 @@ def _run_dist2d(
     )
 
 
-def _run_bfs(
+def _run_sssp_shared(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
     executor, workers, **extra
 ):
-    if config is not None:
-        raise ValueError(
-            "engine 'bfs' takes no SSSPConfig; pass its own knobs directly "
-            "(direction=, partition=, hierarchical=, alpha=, beta=)"
-        )
+    _reject_fabric_knobs(
+        "sssp", machine=machine, faults=faults, sanitize=sanitize,
+        executor=executor, workers=workers,
+    )
+    max_phases = extra.pop("max_phases", None)
+    _reject_extra("sssp", "shared", extra)
+    delta = config.delta if config is not None else None
+    result = _delta_stepping(
+        graph, source, delta=delta, max_phases=max_phases, tracer=tracer
+    )
+    return SharedRun(result=result, kernel="sssp")
+
+
+def _run_bfs_dist1d(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    executor, workers, **extra
+):
+    _reject_config(
+        "bfs", config,
+        "pass its own knobs directly (direction=, partition=, "
+        "hierarchical=, alpha=, beta=)",
+    )
     allowed = {"direction", "alpha", "beta", "partition", "hierarchical"}
     bad = set(extra) - allowed
     if bad:
-        _reject_extra("bfs", {k: extra[k] for k in bad})
+        _reject_extra("bfs", "dist1d", {k: extra[k] for k in bad})
     return _distributed_bfs(
         graph,
         source,
@@ -184,63 +269,125 @@ def _run_bfs(
     )
 
 
-def _run_shared(
+def _run_bfs_shared(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
     executor, workers, **extra
 ):
-    if machine is not None:
-        raise ValueError(
-            "engine 'shared' runs in-process without a cost model; "
-            "machine= does not apply (use a distributed engine)"
-        )
-    if faults is not None:
-        raise ValueError(
-            "engine 'shared' has no fabric to inject faults into; "
-            "faults= requires a distributed engine (dist1d, dist2d, bfs)"
-        )
-    if sanitize:
-        raise ValueError(
-            "engine 'shared' has no fabric to sanitize; sanitize=True "
-            "requires a distributed engine (dist1d, dist2d, bfs)"
-        )
-    if executor is not None or workers is not None:
-        raise ValueError(
-            "engine 'shared' runs in-process with no simulated ranks to "
-            "parallelize; executor=/workers= require a distributed engine "
-            "(dist1d, dist2d, bfs)"
-        )
-    max_phases = extra.pop("max_phases", None)
-    _reject_extra("shared", extra)
-    delta = None
-    if config is not None:
-        delta = config.delta
-    result = _delta_stepping(
-        graph, source, delta=delta, max_phases=max_phases, tracer=tracer
+    _reject_config("bfs", config, "pass direction=/alpha=/beta= directly")
+    _reject_fabric_knobs(
+        "bfs", machine=machine, faults=faults, sanitize=sanitize,
+        executor=executor, workers=workers,
     )
-    return SharedRun(result=result)
+    allowed = {"direction", "alpha", "beta"}
+    bad = set(extra) - allowed
+    if bad:
+        _reject_extra("bfs", "shared", {k: extra[k] for k in bad})
+    return SharedRun(result=_shared_bfs(graph, source, **extra), kernel="bfs")
+
+
+def _make_vertex_dispatch(name: str):
+    """Dispatcher for a whole-graph kernel on the vertex-kernel substrate."""
+
+    def _dispatch(
+        graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+        executor, workers, **extra
+    ):
+        _reject_config(
+            name, config,
+            "kernel parameters pass directly (e.g. partition=, and for "
+            "pagerank damping=/iterations=/tol=)",
+        )
+        partition = extra.pop("partition", "block")
+        from repro.engine.kernels import make_kernel
+
+        return run_kernel(
+            graph,
+            make_kernel(name, **extra),
+            num_ranks=num_ranks,
+            machine=machine,
+            partition=partition,
+            tracer=tracer,
+            faults=faults,
+            sanitize=sanitize,
+            executor=executor,
+            workers=workers,
+        )
+
+    return _dispatch
+
+
+def _make_oracle_dispatch(name: str):
+    """Dispatcher for a whole-graph kernel on the shared (sequential) engine.
+
+    Runs the same oracle ``validate()`` checks against — so a shared run
+    is the reference answer with the uniform RunSummary shape around it.
+    """
+
+    def _dispatch(
+        graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+        executor, workers, **extra
+    ):
+        _reject_config(name, config, "kernel parameters pass directly")
+        _reject_fabric_knobs(
+            name, machine=machine, faults=faults, sanitize=sanitize,
+            executor=executor, workers=workers,
+        )
+        if name == "cc":
+            _reject_extra(name, "shared", extra)
+            from repro.graph.components import connected_components
+
+            result = LabelsResult(labels=connected_components(graph))
+            result.meta["algorithm"] = "label_propagation"
+            result.meta["num_components"] = result.num_components
+        elif name == "pagerank":
+            from repro.engine.kernels import PageRank
+            from repro.engine.kernels.pagerank import pagerank_reference
+
+            kern = PageRank(**extra)
+            ranks = pagerank_reference(
+                graph, damping=kern.damping, iterations=kern.iterations
+            )
+            result = RanksResult(
+                ranks=ranks, damping=kern.damping, iterations=kern.iterations
+            )
+            result.counters.add("iterations", kern.iterations)
+            result.meta["algorithm"] = "pagerank_power_iteration"
+            result.meta["damping"] = kern.damping
+        else:
+            _reject_extra(name, "shared", extra)
+            from repro.engine.kernels.kcore import kcore_reference
+
+            result = CorenessResult(coreness=kcore_reference(graph))
+            result.meta["algorithm"] = "sequential_peeling"
+            result.meta["max_coreness"] = result.max_coreness
+        return SharedRun(result=result, kernel=name)
+
+    return _dispatch
 
 
 _DISPATCH = {
-    "dist1d": _run_dist1d,
-    "dist2d": _run_dist2d,
-    "bfs": _run_bfs,
-    "shared": _run_shared,
+    ("sssp", "dist1d"): _run_sssp_dist1d,
+    ("sssp", "dist2d"): _run_sssp_dist2d,
+    ("sssp", "shared"): _run_sssp_shared,
+    ("bfs", "dist1d"): _run_bfs_dist1d,
+    ("bfs", "shared"): _run_bfs_shared,
+    ("cc", "dist1d"): _make_vertex_dispatch("cc"),
+    ("cc", "shared"): _make_oracle_dispatch("cc"),
+    ("pagerank", "dist1d"): _make_vertex_dispatch("pagerank"),
+    ("pagerank", "shared"): _make_oracle_dispatch("pagerank"),
+    ("kcore", "dist1d"): _make_vertex_dispatch("kcore"),
+    ("kcore", "shared"): _make_oracle_dispatch("kcore"),
 }
-assert tuple(_DISPATCH) == ENGINES
 
-
-def _reject_extra(engine: str, extra: dict) -> None:
-    if extra:
-        raise TypeError(
-            f"engine {engine!r} got unexpected keyword arguments: "
-            f"{sorted(extra)}"
-        )
+#: Traversal kernels require ``source=``; whole-graph kernels forbid it.
+_NEEDS_SOURCE = ("sssp", "bfs")
 
 
 def run(
     graph: CSRGraph,
-    source: int,
+    source: int | None = None,
     *,
+    kernel: str = "sssp",
     engine: str = "dist1d",
     num_ranks: int = 8,
     machine: MachineSpec | None = None,
@@ -250,23 +397,30 @@ def run(
     sanitize: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
-    **engine_kwargs,
+    **kernel_kwargs,
 ) -> RunSummary:
-    """Run one traversal on the simulated machine via the unified facade.
+    """Run one graph kernel on the simulated machine via the unified facade.
 
     Args:
-        graph: the CSR graph to traverse.
-        source: source vertex.
-        engine: ``"dist1d"`` (1-D ∆-stepping, the paper's algorithm),
-            ``"dist2d"`` (checkerboard frontier relaxation), ``"bfs"``
-            (direction-optimizing kernel 2), or ``"shared"`` (the
-            in-process ∆-stepping reference kernel).
+        graph: the CSR graph.
+        source: source vertex — required for ``sssp``/``bfs``, forbidden
+            for the whole-graph kernels (``cc``/``pagerank``/``kcore``).
+        kernel: what to compute — ``"sssp"`` (∆-stepping, the paper's
+            algorithm), ``"bfs"`` (direction-optimizing kernel 2),
+            ``"cc"`` (connected components by min-label propagation),
+            ``"pagerank"`` (synchronous push-based power iteration), or
+            ``"kcore"`` (k-core decomposition by batch peeling).
+        engine: where to run it — ``"dist1d"`` (1-D partitioned ranks over
+            the simulated fabric; every kernel), ``"dist2d"``
+            (checkerboard grid; ``sssp`` only), or ``"shared"``
+            (in-process sequential reference, no cost model).
+            ``engine="bfs"`` is a deprecated alias for
+            ``kernel="bfs", engine="dist1d"``.
         num_ranks: simulated ranks (ignored by ``shared``).
         machine: simulated hardware (:class:`MachineSpec`); defaults to a
             small commodity cluster sized to ``num_ranks``.
-        config: :class:`SSSPConfig` optimization knobs (``dist1d`` honors
-            all of them, ``dist2d`` the frontier-relevant subset; ``bfs``
-            rejects it in favor of its own keywords).
+        config: :class:`SSSPConfig` optimization knobs (``sssp`` only;
+            other kernels take their parameters directly).
         faults: fault-injection schedule for the fabric — a
             :class:`FaultSpec`, a prebuilt :class:`FaultPlan`, or a CLI
             string like ``"drop=0.01,delay=2us,seed=7"``.  Answers are
@@ -277,32 +431,55 @@ def run(
             matching, message conservation, NaN reductions, no-progress
             livelock); violations raise
             :class:`~repro.simmpi.sanitizer.SanitizerViolation` and the
-            audit summary lands in ``result.meta["sanitizer"]``.  Not
-            applicable to ``shared`` (no fabric).
+            audit summary lands in ``result.meta["sanitizer"]``.
         executor: rank-execution backend — ``"serial"`` (default, inline),
-            ``"thread"`` (persistent thread pool over the GIL-releasing
-            numpy phases), ``"process"`` (forked workers with
-            shared-memory transport), or a prebuilt
-            :class:`~repro.simmpi.executor.RankExecutor` to share a pool
-            across runs.  Distances, modeled time and comm bytes are
-            bit-identical across backends.  Not applicable to ``shared``
-            (no simulated ranks).
-        workers: pool size for a string ``executor`` spec (default: the
-            host's CPU count).
-        **engine_kwargs: engine-specific extras — ``grid=(r, c)`` for
-            ``dist2d``; ``direction=``, ``partition=``, ``hierarchical=``,
-            ``alpha=``, ``beta=`` for ``bfs``; ``max_phases=`` for
-            ``shared``.
+            ``"thread"``, ``"process"``, or a prebuilt
+            :class:`~repro.simmpi.executor.RankExecutor`.  Results are
+            bit-identical across backends.
+        workers: pool size for a string ``executor`` spec.
+        **kernel_kwargs: kernel/engine extras — ``grid=(r, c)`` for
+            ``sssp`` on ``dist2d``; ``direction=``, ``partition=``,
+            ``hierarchical=``, ``alpha=``, ``beta=`` for ``bfs``;
+            ``max_phases=`` for ``sssp`` on ``shared``; ``partition=``
+            plus constructor parameters (PageRank's ``damping=``,
+            ``iterations=``, ``tol=``) for the whole-graph kernels.
 
     Returns:
-        An engine run object satisfying :class:`RunSummary`.
+        A run object satisfying :class:`RunSummary`, whose kernel-typed
+        ``result`` implements ``validate(graph)`` against a sequential
+        oracle.
     """
-    try:
-        dispatch = _DISPATCH[engine]
-    except KeyError:
+    if engine == "bfs":
+        # The pre-registry facade spelled BFS as an engine; keep it working
+        # one release as an alias so callers migrate with a warning, not a
+        # crash.
+        if kernel not in ("sssp", "bfs"):
+            raise ValueError(
+                f"engine 'bfs' (deprecated alias) cannot run kernel {kernel!r}"
+            )
+        warn_alias("engine='bfs'", "kernel='bfs' (with engine='dist1d')")
+        kernel, engine = "bfs", "dist1d"
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; options: {', '.join(KERNELS)}"
+        )
+    if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; options: {', '.join(ENGINES)}"
-        ) from None
+        )
+    if kernel in _NEEDS_SOURCE:
+        if source is None:
+            raise ValueError(f"kernel {kernel!r} requires a source vertex")
+    elif source is not None:
+        raise ValueError(
+            f"kernel {kernel!r} is whole-graph; source= does not apply"
+        )
+    dispatch = _DISPATCH.get((kernel, engine))
+    if dispatch is None:
+        options = ", ".join(e for k, e in _DISPATCH if k == kernel)
+        raise ValueError(
+            f"kernel {kernel!r} has no {engine!r} engine; options: {options}"
+        )
     return dispatch(
         graph,
         source,
@@ -314,5 +491,5 @@ def run(
         sanitize=sanitize,
         executor=executor,
         workers=workers,
-        **engine_kwargs,
+        **kernel_kwargs,
     )

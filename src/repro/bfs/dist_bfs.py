@@ -21,16 +21,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._deprecation import warn_legacy
+from repro._deprecation import legacy_removed
 from repro.bfs.kernel import BFSResult, _bottom_up_step, _NO_PARENT
 from repro.core.relaxation import frontier_edges
+from repro.engine.driver import (
+    EngineContext,
+    attach_fabric_outcome,
+    executor_meta,
+    rank_state_meta,
+    run_superstep_engine,
+)
+from repro.engine.validation import (
+    check_direction,
+    check_source,
+    make_contiguous_partition,
+)
 from repro.graph.csr import CSRGraph
-from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition import block1d, block1d_edge_balanced
-from repro.simmpi.executor import RankExecutor, resolve_executor
-from repro.simmpi.fabric import Fabric, Message
+from repro.obs.tracer import Tracer
+from repro.simmpi.executor import RankExecutor
+from repro.simmpi.fabric import Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
-from repro.simmpi.machine import MachineSpec, small_cluster
+from repro.simmpi.machine import MachineSpec
 
 __all__ = ["distributed_bfs", "DistBFSRun"]
 
@@ -43,7 +54,10 @@ class DistBFSRun:
     ``modeled_time``, ``comm``, ``report()``) shared by every engine.
     """
 
-    engine = "bfs"
+    # The layout axis: the BFS engine is a 1-D vertex partition, same as
+    # the ∆-stepping engine; what differs is the kernel.
+    engine = "dist1d"
+    kernel = "bfs"
 
     result: BFSResult
     num_ranks: int
@@ -67,6 +81,7 @@ class DistBFSRun:
         """Uniform engine-agnostic run report (RunSummary protocol)."""
         return {
             "engine": self.engine,
+            "kernel": self.kernel,
             "num_ranks": self.num_ranks,
             "modeled_time": self.modeled_time,
             "time_breakdown": dict(self.time_breakdown),
@@ -243,38 +258,15 @@ class _BFSRank:
         return int(self.local_graph.adj.nbytes + self.local_graph.weight.nbytes)
 
 
-def distributed_bfs(
-    graph: CSRGraph,
-    source: int,
-    num_ranks: int = 8,
-    machine: MachineSpec | None = None,
-    direction: str = "auto",
-    alpha: float = 15.0,
-    beta: float = 18.0,
-    partition: str = "edge_balanced",
-    hierarchical: bool = False,
-    tracer: Tracer | None = None,
-    faults: FaultPlan | FaultSpec | str | None = None,
-) -> DistBFSRun:
-    """Legacy entry point for the distributed BFS engine.
+def distributed_bfs(*args, **kwargs):
+    """Removed legacy entry point for the distributed BFS engine.
 
-    .. deprecated::
-        Prefer ``repro.api.run(graph, source, engine="bfs", ...)`` — the
-        unified facade with the same semantics and a uniform return shape.
+    Raises :class:`RuntimeError` pointing at ``repro.run`` — the unified
+    kernel-registry facade with the same semantics and a uniform return
+    shape.
     """
-    warn_legacy("distributed_bfs", "bfs")
-    return _distributed_bfs(
-        graph,
-        source,
-        num_ranks=num_ranks,
-        machine=machine,
-        direction=direction,
-        alpha=alpha,
-        beta=beta,
-        partition=partition,
-        hierarchical=hierarchical,
-        tracer=tracer,
-        faults=faults,
+    legacy_removed(
+        "distributed_bfs", 'repro.run(graph, source, kernel="bfs", engine="dist1d")'
     )
 
 
@@ -305,169 +297,183 @@ def _distributed_bfs(
     the rank-execution backend (serial, thread, or process) for the per-rank
     compute phases; the tree is bit-identical across backends.
     """
-    if tracer is None:
-        tracer = NULL_TRACER
-    n = graph.num_vertices
-    if not (0 <= source < n):
-        raise ValueError(f"source {source} out of range [0, {n})")
-    if direction not in ("auto", "top_down", "bottom_up"):
-        raise ValueError(f"unknown direction {direction!r}")
-    if partition == "block":
-        part = block1d(n, num_ranks)
-    elif partition == "edge_balanced":
-        part = block1d_edge_balanced(graph, num_ranks)
-    else:
-        raise ValueError(
-            "distributed BFS needs a contiguous partition (block or edge_balanced); "
-            f"got {partition!r}"
-        )
-    machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(
-        machine,
-        num_ranks,
-        hierarchical=hierarchical,
+    check_source(graph, source)
+    check_direction(direction)
+    impl = _BFSEngine(source, direction, alpha, beta, partition, hierarchical)
+    return run_superstep_engine(
+        graph,
+        impl,
+        num_ranks=num_ranks,
+        machine=machine,
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        executor=executor,
+        workers=workers,
     )
-    owner = np.asarray(part.owner_array)
-    ranks = [
-        _BFSRank(r, graph, part.vertices_of(r), owner, num_ranks)
-        for r in range(num_ranks)
-    ]
-    src_rank = ranks[int(owner[source])]
-    src_local = source - src_rank.range_lo
-    src_rank.parent[src_local] = source
-    src_rank.level[src_local] = 0
-    src_rank.frontier = np.array([src_local], dtype=np.int64)
 
-    exec_obj, owns_executor = resolve_executor(executor, workers)
-    team = exec_obj.team(ranks, tracer=tracer)
 
-    depth = 0
-    bottom_up = direction == "bottom_up"
-    unexplored = float(graph.num_edges)
-    levels_bottom_up = 0
-    levels_top_down = 0
+class _BFSEngine:
+    """Direction-optimizing BFS, expressed on the superstep substrate.
 
-    try:
-      # Solve span: bounds wall-clock attribution (see dist_sssp).
-      with tracer.span(
-          "solve", cat="engine", backend=team.backend, workers=team.num_workers
-      ):
-        while True:
-            frontier_sizes = np.array(
-                team.call("frontier_size"), dtype=np.float64
-            )
-            total_frontier = fabric.allreduce(frontier_sizes, op="sum")
-            if total_frontier == 0:
-                break
-            depth += 1
-            frontier_edge_counts = np.array(
-                team.call("frontier_edge_count"), dtype=np.float64
-            )
-            total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
-            unexplored -= total_frontier_edges
-            if direction == "auto":
-                if not bottom_up and total_frontier_edges * alpha > max(
-                    unexplored, 1.0
-                ):
-                    bottom_up = True
-                elif bottom_up and total_frontier * beta < n:
-                    bottom_up = False
-            with tracer.span(
-                "level",
-                cat="engine",
-                phase="bottom_up" if bottom_up else "top_down",
-                epoch=depth,
-                frontier=int(total_frontier),
-            ) as sp:
-                if bottom_up:
-                    levels_bottom_up += 1
-                    # Allgather the frontier bitmap: every rank contributes
-                    # its owned range packed to bits; the collective costs
-                    # alpha*log2(P) + n/8 bytes per rank — the trick that
-                    # makes bottom-up affordable.
-                    contributions = team.call("bitmap_contribution", parallel=True)
-                    global_bits = np.zeros(n, dtype=bool)
-                    for r, payload in zip(ranks, contributions):
-                        # Rank ranges are ctor-set and immutable, so the
-                        # driver's (possibly pre-fork) copies are accurate;
-                        # packbits/unpackbits round-trips exactly.
-                        width = r.range_hi - r.range_lo
-                        if width:
-                            global_bits[r.range_lo : r.range_hi] = np.unpackbits(
-                                payload["bitmap"], count=width
-                            ).astype(bool)
-                    fabric.allgather(contributions)
-                    team.call(
-                        "bottom_up_level", common=(global_bits, depth), parallel=True
-                    )
-                else:
-                    levels_top_down += 1
-                    outboxes = team.call(
-                        "expand_top_down", common=(depth,), parallel=True
-                    )
-                    inboxes = fabric.exchange(outboxes)
-                    team.call(
-                        "apply_claims",
-                        per_rank=[(m,) for m in inboxes],
-                        common=(depth,),
-                        parallel=True,
-                    )
-                work = np.array(team.call("take_step_work"), dtype=np.float64)
-                fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
-                critical_path, sum_of_ranks = team.take_step_timing()
-                sp.tag(
-                    edges=int(work[:, 0].sum()),
-                    bytes=int(work[:, 1].sum()),
-                    critical_path=critical_path,
-                    sum_of_ranks=sum_of_ranks,
+    The driver owns the fabric, team, solve span and the vote → allreduce
+    → step loop; this class owns the BFS-specific parts — the frontier
+    size vote, the Beamer direction switch, the top-down claim exchange
+    vs. bottom-up bitmap allgather, and the :class:`DistBFSRun` assembly.
+    The sequence of team and fabric calls is exactly the pre-substrate
+    engine's, which the byte-exact equivalence fixtures pin.
+    """
+
+    name = "bfs"
+    vote_op = "sum"
+
+    def __init__(
+        self,
+        source: int,
+        direction: str,
+        alpha: float,
+        beta: float,
+        partition: str,
+        hierarchical: bool,
+    ) -> None:
+        self.source = source
+        self.direction = direction
+        self.alpha = alpha
+        self.beta = beta
+        self.partition = partition
+        self.hierarchical = hierarchical
+        self.part = None
+        self.depth = 0
+        self.bottom_up = direction == "bottom_up"
+        self.unexplored = 0.0
+        self.levels_bottom_up = 0
+        self.levels_top_down = 0
+
+    # -- driver hooks ------------------------------------------------------
+
+    def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list[_BFSRank]:
+        # The bitmap allgather packs each rank's owned range to bits, so
+        # owned ranges must be contiguous vertex-id intervals.
+        self.part = make_contiguous_partition(
+            graph, self.partition, num_ranks, "distributed BFS"
+        )
+        self.unexplored = float(graph.num_edges)
+        owner = np.asarray(self.part.owner_array)
+        ranks = [
+            _BFSRank(r, graph, self.part.vertices_of(r), owner, num_ranks)
+            for r in range(num_ranks)
+        ]
+        src_rank = ranks[int(owner[self.source])]
+        src_local = self.source - src_rank.range_lo
+        src_rank.parent[src_local] = self.source
+        src_rank.level[src_local] = 0
+        src_rank.frontier = np.array([src_local], dtype=np.int64)
+        return ranks
+
+    def votes(self, ctx: EngineContext) -> np.ndarray:
+        return np.array(ctx.team.call("frontier_size"), dtype=np.float64)
+
+    def done(self, reduced: float) -> bool:
+        return reduced == 0
+
+    def step(self, ctx: EngineContext, total_frontier: float) -> None:
+        team, fabric = ctx.team, ctx.fabric
+        n = ctx.graph.num_vertices
+        self.depth += 1
+        depth = self.depth
+        frontier_edge_counts = np.array(
+            team.call("frontier_edge_count"), dtype=np.float64
+        )
+        total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
+        self.unexplored -= total_frontier_edges
+        if self.direction == "auto":
+            if not self.bottom_up and total_frontier_edges * self.alpha > max(
+                self.unexplored, 1.0
+            ):
+                self.bottom_up = True
+            elif self.bottom_up and total_frontier * self.beta < n:
+                self.bottom_up = False
+        with ctx.tracer.span(
+            "level",
+            cat="engine",
+            phase="bottom_up" if self.bottom_up else "top_down",
+            epoch=depth,
+            frontier=int(total_frontier),
+        ) as sp:
+            if self.bottom_up:
+                self.levels_bottom_up += 1
+                # Allgather the frontier bitmap: every rank contributes
+                # its owned range packed to bits; the collective costs
+                # alpha*log2(P) + n/8 bytes per rank — the trick that
+                # makes bottom-up affordable.
+                contributions = team.call("bitmap_contribution", parallel=True)
+                global_bits = np.zeros(n, dtype=bool)
+                for r, payload in zip(ctx.ranks, contributions):
+                    # Rank ranges are ctor-set and immutable, so the
+                    # driver's (possibly pre-fork) copies are accurate;
+                    # packbits/unpackbits round-trips exactly.
+                    width = r.range_hi - r.range_lo
+                    if width:
+                        global_bits[r.range_lo : r.range_hi] = np.unpackbits(
+                            payload["bitmap"], count=width
+                        ).astype(bool)
+                fabric.allgather(contributions)
+                team.call(
+                    "bottom_up_level", common=(global_bits, depth), parallel=True
                 )
-        exports = team.call("export_final")
-    finally:
-        team.close()
-        if owns_executor:
-            exec_obj.close()
+            else:
+                self.levels_top_down += 1
+                outboxes = team.call(
+                    "expand_top_down", common=(depth,), parallel=True
+                )
+                inboxes = fabric.exchange(outboxes)
+                team.call(
+                    "apply_claims",
+                    per_rank=[(m,) for m in inboxes],
+                    common=(depth,),
+                    parallel=True,
+                )
+            work = np.array(team.call("take_step_work"), dtype=np.float64)
+            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            critical_path, sum_of_ranks = team.take_step_timing()
+            sp.tag(
+                edges=int(work[:, 0].sum()),
+                bytes=int(work[:, 1].sum()),
+                critical_path=critical_path,
+                sum_of_ranks=sum_of_ranks,
+            )
 
-    parent = np.full(n, _NO_PARENT, dtype=np.int64)
-    level = np.full(n, -1, dtype=np.int64)
-    for r, export in zip(ranks, exports):
-        parent[r.owned] = export["parent"]
-        level[r.owned] = export["level"]
-    result = BFSResult(source=source, parent=parent, level=level)
-    result.counters.add("levels", depth)
-    result.counters.add("levels_top_down", levels_top_down)
-    result.counters.add("levels_bottom_up", levels_bottom_up)
-    result.counters.add(
-        "edges_inspected", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
-    )
-    result.meta.update(direction=direction, num_ranks=num_ranks, partition=part.kind)
-    if fabric.faults is not None:
-        result.meta["faults"] = fabric.faults.spec.describe()
-        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
-        result.counters.add("retry_rounds", fabric.trace.retries)
-        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
-        result.counters.add("rank_stalls", fabric.trace.stalls)
-    if fabric.sanitizer is not None:
-        result.meta["sanitizer"] = fabric.sanitizer.report()
-    rank_bytes = [e["nbytes"] for e in exports]
-    rank_state_only = [e["nbytes"] - e["graph_nbytes"] for e in exports]
-    rank_lengths = [e["lengths"] for e in exports]
-    return DistBFSRun(
-        result=result,
-        num_ranks=num_ranks,
-        simulated_seconds=fabric.clock.total,
-        time_breakdown=fabric.clock.breakdown(),
-        trace_summary=fabric.trace.summary(),
-        work_imbalance=fabric.compute_imbalance("edges"),
-        meta={
-            "executor": {"backend": team.backend, "workers": team.num_workers},
-            "rank_state": {
-                "max_bytes": max(rank_bytes),
-                "total_bytes": sum(rank_bytes),
-                "max_state_bytes": max(rank_state_only),
-                "max_array_len": max(max(d.values()) for d in rank_lengths),
+    def finalize(self, ctx: EngineContext, exports: list[dict]) -> DistBFSRun:
+        fabric = ctx.fabric
+        n = ctx.graph.num_vertices
+        parent = np.full(n, _NO_PARENT, dtype=np.int64)
+        level = np.full(n, -1, dtype=np.int64)
+        for r, export in zip(ctx.ranks, exports):
+            parent[r.owned] = export["parent"]
+            level[r.owned] = export["level"]
+        result = BFSResult(source=self.source, parent=parent, level=level)
+        result.counters.add("levels", self.depth)
+        result.counters.add("levels_top_down", self.levels_top_down)
+        result.counters.add("levels_bottom_up", self.levels_bottom_up)
+        result.counters.add(
+            "edges_inspected",
+            int(fabric.work_per_rank.get("edges", np.zeros(1)).sum()),
+        )
+        result.meta.update(
+            direction=self.direction,
+            num_ranks=ctx.num_ranks,
+            partition=self.part.kind,
+        )
+        attach_fabric_outcome(result, fabric)
+        return DistBFSRun(
+            result=result,
+            num_ranks=ctx.num_ranks,
+            simulated_seconds=fabric.clock.total,
+            time_breakdown=fabric.clock.breakdown(),
+            trace_summary=fabric.trace.summary(),
+            work_imbalance=fabric.compute_imbalance("edges"),
+            meta={
+                "executor": executor_meta(ctx.team),
+                "rank_state": rank_state_meta(exports),
             },
-        },
-    )
+        )

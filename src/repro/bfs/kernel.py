@@ -54,6 +54,15 @@ class BFSResult:
         """Graph500 TEPS numerator (same definition as SSSP)."""
         return int(graph.out_degree[self.reached].sum()) // 2
 
+    def validate(self, graph: CSRGraph):
+        """Run the spec's BFS tree checks; returns a ``ValidationReport``.
+
+        The uniform hook every kernel-typed result implements.
+        """
+        from repro.bfs.validation import validate_bfs
+
+        return validate_bfs(graph, self)
+
 
 def _top_down_step(
     graph: CSRGraph, frontier: np.ndarray, parent: np.ndarray

@@ -71,6 +71,10 @@ def _parse_faults_arg(text: str | None):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.kernel == "bfs":
+        return _run_bfs_table(args)
+    if args.kernel != "sssp":
+        return _run_kernel_smoke(args)
     from repro.core.config import SSSPConfig
     from repro.graph500.harness import run_graph500_sssp
     from repro.graph500.report import render_output_block
@@ -160,7 +164,65 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bfs(args: argparse.Namespace) -> int:
+def _run_kernel_smoke(args: argparse.Namespace) -> int:
+    """``run --kernel cc|pagerank|kcore``: one validated whole-graph run."""
+    from repro import api
+    from repro.graph.csr import build_csr
+    from repro.graph.kronecker import generate_kronecker
+    from repro.graph500.report import render_table
+
+    faults = _parse_faults_arg(args.faults)
+    graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
+    out = api.run(
+        graph,
+        kernel=args.kernel,
+        num_ranks=args.ranks,
+        faults=faults,
+        sanitize=args.sanitize,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    report = out.result.validate(graph)
+    meta = out.result.meta
+    if args.kernel == "cc":
+        headline = f"components={meta.get('num_components')}"
+    elif args.kernel == "pagerank":
+        headline = f"iterations={out.result.iterations}"
+    else:
+        headline = f"max_coreness={meta.get('max_coreness')}"
+    rows = [
+        {
+            "kernel": args.kernel,
+            "supersteps": out.result.counters["supersteps"],
+            "wire_bytes": out.comm["total_bytes"],
+            "modeled_ms": out.modeled_time * 1e3,
+            "summary": headline,
+        }
+    ]
+    print(
+        render_table(
+            rows, title=f"{args.kernel} (scale {args.scale}, {args.ranks} ranks)"
+        )
+    )
+    if faults is not None:
+        print(
+            f"faults: {faults.describe()} -> "
+            f"{out.result.counters['messages_dropped']} drops, "
+            f"{out.result.counters['bytes_retransmitted']} bytes retransmitted"
+        )
+    ok = report.ok
+    print(f"validation: {'PASSED' if ok else 'FAILED'} (oracle comparison)")
+    return 0 if ok else 1
+
+
+def _cmd_bfs_alias(args: argparse.Namespace) -> int:
+    from repro._deprecation import warn_alias
+
+    warn_alias("the 'bfs' subcommand", "'repro run --kernel bfs'")
+    return _run_bfs_table(args)
+
+
+def _run_bfs_table(args: argparse.Namespace) -> int:
     from repro import api
     from repro.bfs import validate_bfs
     from repro.graph.csr import build_csr
@@ -179,7 +241,7 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
             run = api.run(
                 graph,
                 src,
-                engine="bfs",
+                kernel="bfs",
                 num_ranks=args.ranks,
                 direction=direction,
                 faults=faults,
@@ -261,10 +323,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         dump_json,
         load_json,
         run_bench,
+        run_kernel_bench,
         run_parallel_bench,
     )
 
-    if args.parallel:
+    if args.kernels:
+        doc = run_kernel_bench(
+            args.scale,
+            args.ranks,
+            kernels=tuple(args.kernels),
+            backends=tuple(args.backends),
+            workers=args.workers if args.workers is not None else 4,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    elif args.parallel:
         doc = run_parallel_bench(
             args.scale,
             args.ranks,
@@ -346,10 +419,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         tracer.add_meta(faults=faults.describe())
     graph = build_csr(generate_kronecker(args.scale, seed=args.seed))
     source = int(np.argmax(graph.out_degree))
+    # "--engine bfs" predates the kernel axis; translate rather than go
+    # through the deprecated facade alias.
+    kernel = "bfs" if args.engine == "bfs" else "sssp"
+    engine = "dist1d" if args.engine == "bfs" else args.engine
     run = api.run(
         graph,
         source,
-        engine=args.engine,
+        kernel=kernel,
+        engine=engine,
         num_ranks=args.ranks,
         tracer=tracer,
         faults=faults,
@@ -465,8 +543,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="full Graph500 SSSP benchmark")
+    p_run = sub.add_parser("run", help="run one graph kernel (default: Graph500 SSSP)")
     _add_common(p_run)
+    p_run.add_argument(
+        "--kernel",
+        choices=("sssp", "bfs", "cc", "pagerank", "kcore"),
+        default="sssp",
+        help=(
+            "which kernel to run: sssp runs the full Graph500 protocol, "
+            "bfs the per-direction kernel-2 table, cc/pagerank/kcore a "
+            "validated whole-graph run on the vertex-kernel substrate"
+        ),
+    )
     p_run.add_argument("--roots", type=int, default=16)
     p_run.add_argument("--baseline", action="store_true")
     p_run.add_argument(
@@ -512,7 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("--max-rows", type=int, default=80)
     p_inspect.set_defaults(func=_cmd_inspect)
 
-    p_bfs = sub.add_parser("bfs", help="kernel-2 BFS extension")
+    p_bfs = sub.add_parser(
+        "bfs", help="deprecated alias for 'run --kernel bfs'"
+    )
     _add_common(p_bfs)
     p_bfs.add_argument(
         "--faults",
@@ -526,7 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit every fabric collective at runtime (see 'run --sanitize')",
     )
     _add_executor(p_bfs)
-    p_bfs.set_defaults(func=_cmd_bfs)
+    p_bfs.set_defaults(func=_cmd_bfs_alias)
 
     p_abl = sub.add_parser("ablation", help="optimization ablation table")
     _add_common(p_abl)
@@ -553,6 +643,18 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["dist1d", "dist2d", "bfs"],
         choices=("dist1d", "dist2d", "bfs"),
+    )
+    p_bench.add_argument(
+        "--kernels",
+        nargs="+",
+        default=None,
+        choices=("cc", "pagerank", "kcore"),
+        metavar="KERNEL",
+        help=(
+            "run the K1 vertex-kernel protocol instead: time these "
+            "whole-graph kernels under every --backends entry "
+            "(entries land under engines['kernel@backend'])"
+        ),
     )
     p_bench.add_argument(
         "--parallel",

@@ -1,6 +1,9 @@
 """The paper's primary contribution: bucketed ∆-stepping SSSP, shared-memory
 and distributed, with the extreme-scale optimization stack (hub delegation,
 message coalescing, bucket fusion, adaptive ∆).
+
+``delta_stepping``/``distributed_sssp``/``distributed_sssp_2d`` are retired
+stubs that raise ``RuntimeError`` pointing at :func:`repro.run`.
 """
 
 from repro.core.adaptive import choose_delta

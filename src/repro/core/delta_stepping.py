@@ -16,33 +16,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._deprecation import warn_legacy
+from repro._deprecation import legacy_removed
 from repro.core.adaptive import choose_delta
 from repro.core.buckets import BucketQueue
 from repro.core.relaxation import expand, scatter_min
 from repro.core.result import SSSPResult, derive_parents
+from repro.engine.validation import check_delta, check_source
 from repro.graph.csr import CSRGraph
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["delta_stepping"]
 
 
-def delta_stepping(
-    graph: CSRGraph,
-    source: int,
-    delta: float | None = None,
-    max_phases: int | None = None,
-    tracer: Tracer | None = None,
-) -> SSSPResult:
-    """Legacy entry point for the shared-memory ∆-stepping kernel.
+def delta_stepping(*args, **kwargs):
+    """Removed legacy entry point for the shared-memory ∆-stepping kernel.
 
-    .. deprecated::
-        Prefer ``repro.api.run(graph, source, engine="shared", ...)`` — the
-        unified facade with the same semantics and a uniform return shape.
+    Raises :class:`RuntimeError` pointing at ``repro.run`` — the unified
+    kernel-registry facade with the same semantics and a uniform return
+    shape.
     """
-    warn_legacy("delta_stepping", "shared")
-    return _delta_stepping(
-        graph, source, delta=delta, max_phases=max_phases, tracer=tracer
+    legacy_removed(
+        "delta_stepping", 'repro.run(graph, source, kernel="sssp", engine="shared")'
     )
 
 
@@ -65,17 +59,14 @@ def _delta_stepping(
     if tracer is None:
         tracer = NULL_TRACER
     n = graph.num_vertices
-    if not (0 <= source < n):
-        raise ValueError(f"source {source} out of range [0, {n})")
-    chosen_adaptively = delta is None
+    check_source(graph, source)
+    adaptive = delta is None
     if delta is None:
         delta = choose_delta(graph)
     # Validate the *chosen* value, not just the caller's: a degenerate
     # weight distribution can push the adaptive heuristic to 0 or NaN, and
     # BucketQueue would spin forever on a non-positive bucket width.
-    if not np.isfinite(delta) or delta <= 0:
-        origin = "choose_delta(graph) returned" if chosen_adaptively else "got"
-        raise ValueError(f"delta must be positive and finite; {origin} {delta!r}")
+    delta = check_delta(delta, adaptive)
 
     dist = np.full(n, np.inf, dtype=np.float64)
     dist[source] = 0.0

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._deprecation import warn_legacy
+from repro._deprecation import legacy_removed
 from repro.core.adaptive import choose_delta
 from repro.core.buckets import BucketQueue
 from repro.core.coalescing import dedup_min, pack_updates, unpack_updates
@@ -39,20 +39,27 @@ from repro.core.delegation import DelegateTable, auto_hub_threshold, select_hubs
 from repro.core.ghost_cache import GhostMinCache
 from repro.core.relaxation import expand, scatter_min
 from repro.core.result import SSSPResult, derive_parents
+from repro.engine.driver import (
+    EngineContext,
+    attach_fabric_outcome,
+    executor_meta,
+    rank_state_meta,
+    run_superstep_engine,
+)
+from repro.engine.validation import (
+    check_delta,
+    check_num_ranks,
+    check_source,
+    make_partition,
+)
 from repro.graph.csr import CSRGraph
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition import (
-    LocalIndexMap,
-    Partition1D,
-    block1d,
-    block1d_edge_balanced,
-    hashed1d,
-)
-from repro.simmpi.executor import RankExecutor, resolve_executor
-from repro.simmpi.fabric import Fabric, Message
+from repro.obs.tracer import Tracer
+from repro.partition import LocalIndexMap, Partition1D
+from repro.simmpi.executor import RankExecutor
+from repro.simmpi.fabric import Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
-from repro.simmpi.machine import MachineSpec, small_cluster
+from repro.simmpi.machine import MachineSpec
 
 __all__ = ["distributed_sssp", "DistSSSPRun"]
 
@@ -61,16 +68,6 @@ _KIND_LIGHT_ANNOUNCE = 1
 _KIND_HEAVY_ANNOUNCE = 2
 
 _INF = np.inf
-
-
-def _make_partition(graph: CSRGraph, kind: str, num_ranks: int) -> Partition1D:
-    if kind == "block":
-        return block1d(graph.num_vertices, num_ranks)
-    if kind == "edge_balanced":
-        return block1d_edge_balanced(graph, num_ranks)
-    if kind == "hashed":
-        return hashed1d(graph.num_vertices, num_ranks)
-    raise ValueError(f"unknown partition kind {kind!r}")
 
 
 class _Rank:
@@ -482,6 +479,7 @@ class DistSSSPRun:
     """
 
     engine = "dist1d"
+    kernel = "sssp"
 
     result: SSSPResult
     config: SSSPConfig
@@ -511,6 +509,7 @@ class DistSSSPRun:
         """Uniform engine-agnostic run report (RunSummary protocol)."""
         return {
             "engine": self.engine,
+            "kernel": self.kernel,
             "num_ranks": self.num_ranks,
             "modeled_time": self.modeled_time,
             "time_breakdown": dict(self.time_breakdown),
@@ -527,31 +526,265 @@ class DistSSSPRun:
         return self.result.traversed_edges(graph) / self.simulated_seconds
 
 
-def distributed_sssp(
-    graph: CSRGraph,
-    source: int,
-    num_ranks: int = 8,
-    machine: MachineSpec | None = None,
-    config: SSSPConfig | None = None,
-    tracer: Tracer | None = None,
-    faults: FaultPlan | FaultSpec | str | None = None,
-) -> DistSSSPRun:
-    """Legacy entry point for the 1-D ∆-stepping engine.
+def distributed_sssp(*args, **kwargs):
+    """Removed legacy entry point for the 1-D ∆-stepping engine.
 
-    .. deprecated::
-        Prefer ``repro.api.run(graph, source, engine="dist1d", ...)`` — the
-        unified facade with the same semantics and a uniform return shape.
+    Raises :class:`RuntimeError` pointing at ``repro.run`` — the unified
+    kernel-registry facade with the same semantics and a uniform return
+    shape.
     """
-    warn_legacy("distributed_sssp", "dist1d")
-    return _distributed_sssp(
-        graph,
-        source,
-        num_ranks=num_ranks,
-        machine=machine,
-        config=config,
-        tracer=tracer,
-        faults=faults,
+    legacy_removed(
+        "distributed_sssp", 'repro.run(graph, source, kernel="sssp", engine="dist1d")'
     )
+
+
+class _DistSSSPEngine:
+    """The 1-D ∆-stepping engine, expressed on the superstep substrate.
+
+    The driver (:func:`repro.engine.driver.run_superstep_engine`) owns the
+    fabric, team, solve span and the vote → allreduce → step loop; this
+    class owns what is ∆-stepping-specific — bucket votes, the epoch body
+    (light phases, hub announcement rounds, the heavy round), and the
+    :class:`DistSSSPRun` assembly.  The sequence of team and fabric calls
+    is exactly the pre-substrate engine's, which the byte-exact
+    equivalence fixtures pin.
+    """
+
+    name = "dist1d"
+    vote_op = "min"
+
+    def __init__(
+        self,
+        source: int,
+        config: SSSPConfig,
+        delta: float,
+        partition: Partition1D,
+        hubs: np.ndarray,
+        threshold: int,
+    ) -> None:
+        self.source = source
+        self.config = config
+        self.delta = delta
+        self.partition = partition
+        self.hubs = hubs
+        self.threshold = threshold
+        self.hierarchical = config.hierarchical_aggregation
+        self.metrics = MetricsRegistry()
+        self.epochs = 0
+        self.light_supersteps = 0
+        self.heavy_rounds = 0
+
+    # -- driver hooks ------------------------------------------------------
+
+    def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list[_Rank]:
+        owner = np.asarray(self.partition.owner_array)
+        config = self.config
+        ranks = [
+            _Rank(
+                rank=r,
+                num_ranks=num_ranks,
+                graph=graph,
+                owned=self.partition.vertices_of(r),
+                owner=owner,
+                delegates=(
+                    DelegateTable.build(graph, self.hubs, r, num_ranks)
+                    if config.delegate_hubs
+                    else None
+                ),
+                config=config,
+                delta=self.delta,
+            )
+            for r in range(num_ranks)
+        ]
+        src_rank = ranks[int(owner[self.source])]
+        src_local = int(src_rank.lmap.to_local(np.int64(self.source)))
+        src_rank.dist[src_local] = 0.0
+        src_rank.buckets.insert(np.array([src_local], dtype=np.int64))
+        return ranks
+
+    def votes(self, ctx: EngineContext) -> np.ndarray:
+        # Termination allreduce: min over local minimum buckets.
+        kmins = np.array(ctx.team.call("local_min_bucket"))
+        return np.where(np.isfinite(kmins), kmins, 1e300)
+
+    def done(self, reduced: float) -> bool:
+        return reduced >= 1e300
+
+    # -- step internals ----------------------------------------------------
+
+    def _charge_step(self, ctx: EngineContext) -> tuple[int, int, int]:
+        """Charge compute; return global (edges, bucket_ops, bytes) totals."""
+        work = np.array(ctx.team.call("take_step_work"), dtype=np.float64)
+        ctx.fabric.charge_compute(
+            edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
+        )
+        totals = work.sum(axis=0)
+        return int(totals[0]), int(totals[1]), int(totals[2])
+
+    def _exchange_round(self, ctx: EngineContext, announcements: bool) -> None:
+        """One communication phase: flush, exchange, process on arrival.
+
+        Flush and inbox processing are independent per-rank compute; the
+        exchange between them is the superstep's barrier and stays in the
+        driver, in canonical rank order, whatever the backend.
+        """
+        outboxes = ctx.team.call(
+            "flush_outbox",
+            common=(ctx.graph.num_vertices, announcements),
+            parallel=True,
+        )
+        inboxes = ctx.fabric.exchange(outboxes)
+        ctx.team.call("process_inbox", per_rank=[(m,) for m in inboxes], parallel=True)
+
+    def _announcement_round_needed(self, ctx: EngineContext) -> bool:
+        """Whether any rank queued a hub announcement this superstep.
+
+        The flag is knowable without extra cost on a real machine: it rides
+        on the preceding allreduce.  Skipping the empty broadcast phase
+        avoids charging a barrier for nothing.
+        """
+        return any(ctx.team.call("take_pending_announcements"))
+
+    def step(self, ctx: EngineContext, reduced: float) -> None:
+        team, fabric, tracer = ctx.team, ctx.fabric, ctx.tracer
+        config, metrics = self.config, self.metrics
+        k = int(reduced)
+        self.epochs += 1
+        epochs = self.epochs
+        team.call("start_epoch")
+        with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
+            # ---- light phases.  Each superstep: local drain/relax, then
+            # the announcement broadcast phase (delegation only), then the
+            # update exchange.  Updates are applied on arrival, so after
+            # the exchange the only live state is bucket membership —
+            # which the termination allreduce checks directly.
+            while True:
+                frontier_total = (
+                    int(sum(team.call("bucket_live_count", common=(k,))))
+                    if tracer.enabled
+                    else 0
+                )
+                with tracer.span(
+                    "superstep",
+                    cat="engine",
+                    phase="light",
+                    epoch=epochs,
+                    bucket=k,
+                    frontier=frontier_total,
+                ) as sp:
+                    team.call("relax_bucket", common=(k,), parallel=True)
+                    if (
+                        config.delegate_hubs
+                        and self.hubs.size
+                        and self._announcement_round_needed(ctx)
+                    ):
+                        self._exchange_round(ctx, announcements=True)
+                    self._exchange_round(ctx, announcements=False)
+                    edges, bucket_ops, step_bytes = self._charge_step(ctx)
+                    critical_path, sum_of_ranks = team.take_step_timing()
+                    sp.tag(
+                        edges=edges,
+                        bucket_ops=bucket_ops,
+                        bytes=step_bytes,
+                        critical_path=critical_path,
+                        sum_of_ranks=sum_of_ranks,
+                    )
+                if tracer.enabled:
+                    metrics.histogram("frontier_size").observe(frontier_total)
+                    metrics.histogram("superstep_bytes").observe(step_bytes)
+                self.light_supersteps += 1
+                live = np.array(
+                    team.call("bucket_live", common=(k,)), dtype=np.float64
+                )
+                if not fabric.allreduce_any(live):
+                    break
+            # ---- heavy phase: one announcement round (delegation only)
+            # plus one update round; heavy results only land in later
+            # buckets, so no iteration is needed.
+            with tracer.span(
+                "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
+            ) as sp:
+                team.call("emit_heavy", parallel=True)
+                if (
+                    config.delegate_hubs
+                    and self.hubs.size
+                    and self._announcement_round_needed(ctx)
+                ):
+                    self._exchange_round(ctx, announcements=True)
+                self._exchange_round(ctx, announcements=False)
+                edges, bucket_ops, step_bytes = self._charge_step(ctx)
+                critical_path, sum_of_ranks = team.take_step_timing()
+                sp.tag(
+                    edges=edges,
+                    bucket_ops=bucket_ops,
+                    bytes=step_bytes,
+                    critical_path=critical_path,
+                    sum_of_ranks=sum_of_ranks,
+                )
+            if tracer.enabled:
+                metrics.histogram("superstep_bytes").observe(step_bytes)
+            self.heavy_rounds += 1
+
+    def finalize(self, ctx: EngineContext, exports: list[dict]) -> DistSSSPRun:
+        fabric, tracer = ctx.fabric, ctx.tracer
+        metrics = self.metrics
+        # ---- assemble the global answer ---------------------------------
+        # Each rank's dist vector is owned-local, so the gather is one
+        # direct scatter per rank — no dense per-rank indexing.
+        # repro: index-space: dist[global], r.owned=global
+        dist = np.full(ctx.graph.num_vertices, _INF, dtype=np.float64)
+        for r, export in zip(ctx.ranks, exports):
+            dist[r.owned] = export["dist"]
+        result = SSSPResult(
+            source=self.source,
+            dist=dist,
+            parent=derive_parents(ctx.graph, dist, self.source),
+        )
+        result.counters.add("epochs", self.epochs)
+        result.counters.add("light_supersteps", self.light_supersteps)
+        result.counters.add("heavy_rounds", self.heavy_rounds)
+        result.counters.add(
+            "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
+        )
+        result.meta.update(
+            algorithm="distributed_delta_stepping",
+            delta=float(self.delta),
+            num_ranks=ctx.num_ranks,
+            hub_threshold=self.threshold,
+            num_hubs=int(self.hubs.size),
+            variant=self.config.variant_name(),
+        )
+        attach_fabric_outcome(result, fabric)
+        if tracer.enabled:
+            metrics.gauge("work_imbalance").set(fabric.compute_imbalance("edges"))
+            metrics.gauge("comm_imbalance").set(fabric.trace.comm_imbalance())
+            metrics.histogram("rank_sent_bytes").observe_many(
+                fabric.trace.bytes_sent_per_rank
+            )
+            metrics.absorb_counters(result.counters)
+            tracer.emit_metrics("engine", metrics.snapshot())
+        return DistSSSPRun(
+            result=result,
+            config=self.config,
+            num_ranks=ctx.num_ranks,
+            delta=float(self.delta),
+            simulated_seconds=fabric.clock.total,
+            time_breakdown=fabric.clock.breakdown(),
+            trace_summary=fabric.trace.summary(),
+            work_imbalance=fabric.compute_imbalance("edges"),
+            machine_name=ctx.machine.name,
+            step_bytes=list(fabric.trace.step_bytes),
+            meta={
+                "partition": self.partition.kind,
+                "executor": executor_meta(ctx.team),
+                # The ghost cache is excluded from the dense-length gate:
+                # it sizes with the vertices a rank actually relaxes
+                # remotely (the halo), not with n.
+                "rank_state": rank_state_meta(
+                    exports, dense_exclude=("ghost_slots",)
+                ),
+            },
+        )
 
 
 def _distributed_sssp(
@@ -586,27 +819,15 @@ def _distributed_sssp(
     :class:`~repro.simmpi.executor.RankExecutor`; ``workers`` sizes a
     string-specified pool.  Results are bit-identical across backends.
     """
-    if tracer is None:
-        tracer = NULL_TRACER
     if config is None:
         config = SSSPConfig()
-    if machine is None:
-        machine = small_cluster(max(num_ranks, 1))
-    n = graph.num_vertices
-    if not (0 <= source < n):
-        raise ValueError(f"source {source} out of range [0, {n})")
-    if num_ranks < 1:
-        raise ValueError("num_ranks must be >= 1")
+    check_source(graph, source)
+    check_num_ranks(num_ranks)
 
-    delta = config.delta if config.delta is not None else choose_delta(graph, config.delta_scale)
-    if not np.isfinite(delta) or delta <= 0:
-        raise ValueError(
-            f"bucket width delta must be positive and finite; the "
-            f"{'configured' if config.delta is not None else 'adaptive'} "
-            f"choice was {delta!r}"
-        )
-    partition = _make_partition(graph, config.partition, num_ranks)
-    owner = np.asarray(partition.owner_array)
+    adaptive = config.delta is None
+    delta = choose_delta(graph, config.delta_scale) if adaptive else config.delta
+    delta = check_delta(delta, adaptive)
+    partition = make_partition(graph, config.partition, num_ranks)
 
     if config.delegate_hubs:
         threshold = (
@@ -619,255 +840,15 @@ def _distributed_sssp(
         threshold = 0
         hubs = np.empty(0, dtype=np.int64)
 
-    fabric = Fabric(
-        machine,
-        num_ranks,
-        hierarchical=config.hierarchical_aggregation,
+    impl = _DistSSSPEngine(source, config, delta, partition, hubs, threshold)
+    return run_superstep_engine(
+        graph,
+        impl,
+        num_ranks=num_ranks,
+        machine=machine,
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
-    )
-    metrics = MetricsRegistry()
-    ranks = [
-        _Rank(
-            rank=r,
-            num_ranks=num_ranks,
-            graph=graph,
-            owned=partition.vertices_of(r),
-            owner=owner,
-            delegates=(
-                DelegateTable.build(graph, hubs, r, num_ranks)
-                if config.delegate_hubs
-                else None
-            ),
-            config=config,
-            delta=delta,
-        )
-        for r in range(num_ranks)
-    ]
-
-    src_rank = ranks[int(owner[source])]
-    src_local = int(src_rank.lmap.to_local(np.int64(source)))
-    src_rank.dist[src_local] = 0.0
-    src_rank.buckets.insert(np.array([src_local], dtype=np.int64))
-
-    # The team owns where rank methods execute (inline, thread pool, or
-    # forked workers).  It is built after seeding so the process backend's
-    # fork inherits the seeded state; from here on every rank interaction
-    # goes through the team — the parent's rank objects may be stale copies.
-    exec_obj, owns_executor = resolve_executor(executor, workers)
-    team = exec_obj.team(ranks, tracer=tracer)
-
-    epochs = 0
-    light_supersteps = 0
-    heavy_rounds = 0
-
-    def _charge_step() -> tuple[int, int, int]:
-        """Charge compute; return global (edges, bucket_ops, bytes) totals."""
-        work = np.array(team.call("take_step_work"), dtype=np.float64)
-        fabric.charge_compute(
-            edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
-        )
-        totals = work.sum(axis=0)
-        return int(totals[0]), int(totals[1]), int(totals[2])
-
-    def _exchange_round(announcements: bool) -> None:
-        """One communication phase: flush, exchange, process on arrival.
-
-        Flush and inbox processing are independent per-rank compute; the
-        exchange between them is the superstep's barrier and stays in the
-        driver, in canonical rank order, whatever the backend.
-        """
-        outboxes = team.call("flush_outbox", common=(n, announcements), parallel=True)
-        inboxes = fabric.exchange(outboxes)
-        team.call("process_inbox", per_rank=[(m,) for m in inboxes], parallel=True)
-
-    def _announcement_round_needed() -> bool:
-        """Whether any rank queued a hub announcement this superstep.
-
-        The flag is knowable without extra cost on a real machine: it rides
-        on the preceding allreduce.  Skipping the empty broadcast phase
-        avoids charging a barrier for nothing.
-        """
-        return any(team.call("take_pending_announcements"))
-
-    try:
-      # The solve span bounds wall-clock attribution: everything the team
-      # and fabric do between here and the final export happens inside it,
-      # so the profiler can reconcile its buckets against this one wall
-      # duration (setup/teardown are reported separately).
-      with tracer.span(
-          "solve", cat="engine", backend=team.backend, workers=team.num_workers
-      ):
-        while True:
-            kmins = np.array(team.call("local_min_bucket"))
-            # Termination allreduce: min over local minimum buckets.
-            kmin = fabric.allreduce(
-                np.where(np.isfinite(kmins), kmins, 1e300), op="min"
-            )
-            if kmin >= 1e300:
-                break
-            k = int(kmin)
-            epochs += 1
-            team.call("start_epoch")
-            with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
-                # ---- light phases.  Each superstep: local drain/relax, then
-                # the announcement broadcast phase (delegation only), then the
-                # update exchange.  Updates are applied on arrival, so after
-                # the exchange the only live state is bucket membership —
-                # which the termination allreduce checks directly.
-                while True:
-                    frontier_total = (
-                        int(sum(team.call("bucket_live_count", common=(k,))))
-                        if tracer.enabled
-                        else 0
-                    )
-                    with tracer.span(
-                        "superstep",
-                        cat="engine",
-                        phase="light",
-                        epoch=epochs,
-                        bucket=k,
-                        frontier=frontier_total,
-                    ) as sp:
-                        team.call("relax_bucket", common=(k,), parallel=True)
-                        if (
-                            config.delegate_hubs
-                            and hubs.size
-                            and _announcement_round_needed()
-                        ):
-                            _exchange_round(announcements=True)
-                        _exchange_round(announcements=False)
-                        edges, bucket_ops, step_bytes = _charge_step()
-                        critical_path, sum_of_ranks = team.take_step_timing()
-                        sp.tag(
-                            edges=edges,
-                            bucket_ops=bucket_ops,
-                            bytes=step_bytes,
-                            critical_path=critical_path,
-                            sum_of_ranks=sum_of_ranks,
-                        )
-                    if tracer.enabled:
-                        metrics.histogram("frontier_size").observe(frontier_total)
-                        metrics.histogram("superstep_bytes").observe(step_bytes)
-                    light_supersteps += 1
-                    live = np.array(
-                        team.call("bucket_live", common=(k,)), dtype=np.float64
-                    )
-                    if not fabric.allreduce_any(live):
-                        break
-                # ---- heavy phase: one announcement round (delegation only)
-                # plus one update round; heavy results only land in later
-                # buckets, so no iteration is needed.
-                with tracer.span(
-                    "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
-                ) as sp:
-                    team.call("emit_heavy", parallel=True)
-                    if (
-                        config.delegate_hubs
-                        and hubs.size
-                        and _announcement_round_needed()
-                    ):
-                        _exchange_round(announcements=True)
-                    _exchange_round(announcements=False)
-                    edges, bucket_ops, step_bytes = _charge_step()
-                    critical_path, sum_of_ranks = team.take_step_timing()
-                    sp.tag(
-                        edges=edges,
-                        bucket_ops=bucket_ops,
-                        bytes=step_bytes,
-                        critical_path=critical_path,
-                        sum_of_ranks=sum_of_ranks,
-                    )
-                if tracer.enabled:
-                    metrics.histogram("superstep_bytes").observe(step_bytes)
-                heavy_rounds += 1
-
-        exports = team.call("export_final")
-    finally:
-        team.close()
-        if owns_executor:
-            exec_obj.close()
-
-    # ---- assemble the global answer -------------------------------------
-    # Each rank's dist vector is owned-local, so the gather is one direct
-    # scatter per rank — no dense per-rank indexing.
-    # repro: index-space: dist[global], r.owned=global
-    dist = np.full(n, _INF, dtype=np.float64)
-    for r, export in zip(ranks, exports):
-        dist[r.owned] = export["dist"]
-    result = SSSPResult(
-        source=source,
-        dist=dist,
-        parent=derive_parents(graph, dist, source),
-    )
-    result.counters.add("epochs", epochs)
-    result.counters.add("light_supersteps", light_supersteps)
-    result.counters.add("heavy_rounds", heavy_rounds)
-    result.counters.add(
-        "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
-    )
-    result.meta.update(
-        algorithm="distributed_delta_stepping",
-        delta=float(delta),
-        num_ranks=num_ranks,
-        hub_threshold=threshold,
-        num_hubs=int(hubs.size),
-        variant=config.variant_name(),
-    )
-    if fabric.faults is not None:
-        result.meta["faults"] = fabric.faults.spec.describe()
-        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
-        result.counters.add("retry_rounds", fabric.trace.retries)
-        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
-        result.counters.add("rank_stalls", fabric.trace.stalls)
-    if fabric.sanitizer is not None:
-        result.meta["sanitizer"] = fabric.sanitizer.report()
-    if tracer.enabled:
-        metrics.gauge("work_imbalance").set(fabric.compute_imbalance("edges"))
-        metrics.gauge("comm_imbalance").set(fabric.trace.comm_imbalance())
-        metrics.histogram("rank_sent_bytes").observe_many(
-            fabric.trace.bytes_sent_per_rank
-        )
-        metrics.absorb_counters(result.counters)
-        tracer.emit_metrics("engine", metrics.snapshot())
-    rank_bytes = [export["nbytes"] for export in exports]
-    rank_state_only = [
-        export["nbytes"] - export["graph_nbytes"] for export in exports
-    ]
-    rank_lengths = [export["lengths"] for export in exports]
-    return DistSSSPRun(
-        result=result,
-        config=config,
-        num_ranks=num_ranks,
-        delta=float(delta),
-        simulated_seconds=fabric.clock.total,
-        time_breakdown=fabric.clock.breakdown(),
-        trace_summary=fabric.trace.summary(),
-        work_imbalance=fabric.compute_imbalance("edges"),
-        machine_name=machine.name,
-        step_bytes=list(fabric.trace.step_bytes),
-        meta={
-            "partition": partition.kind,
-            "executor": {"backend": team.backend, "workers": team.num_workers},
-            "rank_state": {
-                "max_bytes": max(rank_bytes),
-                "total_bytes": sum(rank_bytes),
-                # Algorithm state only: excludes the rank's share of the
-                # input edges (adjacency + weights), which is resident in
-                # any layout.
-                "max_state_bytes": max(rank_state_only),
-                "max_array_len": max(
-                    max(lengths.values()) for lengths in rank_lengths
-                ),
-                # Dense arrays indexed by local vertex id — the ones the
-                # owned-local layout shrinks from O(n) to O(owned).  The
-                # ghost cache is excluded: it sizes with the vertices a
-                # rank actually relaxes remotely (the halo), not with n.
-                "max_dense_len": max(
-                    max(v for k, v in lengths.items() if k != "ghost_slots")
-                    for lengths in rank_lengths
-                ),
-            },
-        },
+        executor=executor,
+        workers=workers,
     )

@@ -63,6 +63,19 @@ class SSSPResult:
         reached = self.reached
         return int(graph.out_degree[reached].sum()) // 2
 
+    def validate(self, graph: CSRGraph):
+        """Run the Graph500 spec checks; returns a ``ValidationReport``.
+
+        The uniform hook every kernel-typed result implements — same call
+        whether the run computed distances, a BFS tree, labels, ranks or
+        coreness.
+        """
+        # Imported here, not at module scope: the graph500 package imports
+        # result containers, so a top-level import would be circular.
+        from repro.graph500.validation import validate_sssp
+
+        return validate_sssp(graph, self)
+
 
 def derive_parents(graph: CSRGraph, dist: np.ndarray, source: int) -> np.ndarray:
     """Derive a valid shortest-path tree from converged distances.

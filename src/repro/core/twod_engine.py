@@ -25,18 +25,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._deprecation import warn_legacy
+from repro._deprecation import legacy_removed
 from repro.core.coalescing import dedup_min
 from repro.core.config import SSSPConfig
 from repro.core.relaxation import frontier_edges, scatter_min
 from repro.core.result import SSSPResult, derive_parents
+from repro.engine.driver import (
+    EngineContext,
+    attach_fabric_outcome,
+    executor_meta,
+    rank_state_meta,
+    run_superstep_engine,
+)
+from repro.engine.validation import (
+    check_grid,
+    check_source,
+    make_contiguous_partition,
+)
 from repro.graph.csr import CSRGraph
-from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.partition import block1d, block1d_edge_balanced, make_grid
-from repro.simmpi.executor import RankExecutor, resolve_executor
-from repro.simmpi.fabric import Fabric, Message
+from repro.obs.tracer import Tracer
+from repro.partition import block1d, make_grid
+from repro.simmpi.executor import RankExecutor
+from repro.simmpi.fabric import Message
 from repro.simmpi.faults import FaultPlan, FaultSpec
-from repro.simmpi.machine import MachineSpec, small_cluster
+from repro.simmpi.machine import MachineSpec
 
 __all__ = ["distributed_sssp_2d", "TwoDRun"]
 
@@ -52,6 +64,7 @@ class TwoDRun:
     """
 
     engine = "dist2d"
+    kernel = "sssp"
 
     result: SSSPResult
     rows: int
@@ -80,6 +93,7 @@ class TwoDRun:
         """Uniform engine-agnostic run report (RunSummary protocol)."""
         return {
             "engine": self.engine,
+            "kernel": self.kernel,
             "num_ranks": self.num_ranks,
             "modeled_time": self.modeled_time,
             "time_breakdown": dict(self.time_breakdown),
@@ -327,32 +341,16 @@ class _GridRank:
         return int(self.block.adj.nbytes + self.block.weight.nbytes)
 
 
-def distributed_sssp_2d(
-    graph: CSRGraph,
-    source: int,
-    num_ranks: int = 16,
-    machine: MachineSpec | None = None,
-    grid: tuple[int, int] | None = None,
-    tracer: Tracer | None = None,
-    config: SSSPConfig | None = None,
-    faults: FaultPlan | FaultSpec | str | None = None,
-) -> TwoDRun:
-    """Legacy entry point for the 2-D engine.
+def distributed_sssp_2d(*args, **kwargs):
+    """Removed legacy entry point for the 2-D engine.
 
-    .. deprecated::
-        Prefer ``repro.api.run(graph, source, engine="dist2d", ...)`` — the
-        unified facade with the same semantics and a uniform return shape.
+    Raises :class:`RuntimeError` pointing at ``repro.run`` — the unified
+    kernel-registry facade with the same semantics and a uniform return
+    shape.
     """
-    warn_legacy("distributed_sssp_2d", "dist2d")
-    return _distributed_sssp_2d(
-        graph,
-        source,
-        num_ranks=num_ranks,
-        machine=machine,
-        grid=grid,
-        tracer=tracer,
-        config=config,
-        faults=faults,
+    legacy_removed(
+        "distributed_sssp_2d",
+        'repro.run(graph, source, kernel="sssp", engine="dist2d")',
     )
 
 
@@ -391,173 +389,196 @@ def _distributed_sssp_2d(
     reproduces the historical behavior exactly (block partition, coalescing
     on, int64 wire ids).
     """
-    if tracer is None:
-        tracer = NULL_TRACER
-    n = graph.num_vertices
-    if not (0 <= source < n):
-        raise ValueError(f"source {source} out of range [0, {n})")
+    check_source(graph, source)
     rows, cols = grid if grid is not None else make_grid(num_ranks)
-    if rows * cols != num_ranks:
-        raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
-    machine = machine or small_cluster(max(num_ranks, 1))
-    fabric = Fabric(machine, num_ranks, tracer=tracer, faults=faults, sanitize=sanitize)
-    if config is None:
-        part = block1d(n, num_ranks)
-        coalesce = True
-        vertex_dtype = np.int64
-    else:
-        if config.partition == "block":
+    check_grid(rows, cols, num_ranks)
+    impl = _TwoDEngine(source, rows, cols, config)
+    return run_superstep_engine(
+        graph,
+        impl,
+        num_ranks=num_ranks,
+        machine=machine,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+        executor=executor,
+        workers=workers,
+    )
+
+
+class _TwoDEngine:
+    """The 2-D checkerboard engine, expressed on the superstep substrate.
+
+    The driver owns the fabric, team, solve span and the vote → allreduce
+    → step loop; this class owns the grid-specific parts — the frontier
+    size vote, the round body (row broadcast, block relaxation, column
+    reduce), and the :class:`TwoDRun` assembly.  The sequence of team and
+    fabric calls is exactly the pre-substrate engine's, which the
+    byte-exact equivalence fixtures pin.
+    """
+
+    name = "dist2d"
+    hierarchical = False
+    vote_op = "sum"
+
+    def __init__(
+        self,
+        source: int,
+        rows: int,
+        cols: int,
+        config: SSSPConfig | None,
+    ) -> None:
+        self.source = source
+        self.rows = rows
+        self.cols = cols
+        self.config = config
+        self.part = None
+        self.rounds = 0
+        self.max_partners = 0
+
+    # -- driver hooks ------------------------------------------------------
+
+    def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list[_GridRank]:
+        n = graph.num_vertices
+        rows, cols = self.rows, self.cols
+        config = self.config
+        if config is None:
             part = block1d(n, num_ranks)
-        elif config.partition == "edge_balanced":
-            part = block1d_edge_balanced(graph, num_ranks)
+            coalesce = True
+            vertex_dtype = np.int64
         else:
-            raise ValueError(
-                "the 2-D engine maps vertex owners onto grid columns and "
-                "needs a contiguous partition (block or edge_balanced); "
-                f"got {config.partition!r}"
+            # The grid-column owner mapping relies on owned ranges being
+            # contiguous vertex-id intervals.
+            part = make_contiguous_partition(
+                graph, config.partition, num_ranks, "the 2-D engine"
             )
-        coalesce = config.coalesce
-        small_enough = n <= int(np.iinfo(np.uint32).max)
-        vertex_dtype = np.uint32 if (config.compressed_indices and small_enough) else np.int64
-    owner = np.asarray(part.owner_array)
-    owned_arrays = [part.vertices_of(r) for r in range(num_ranks)]
-    # Each grid row's source range: the union of its ranks' (contiguous,
-    # ordered) owned ranges.  Row-local state spans exactly this range.
-    row_ranges: list[tuple[int, int]] = []
-    for gr in range(rows):
-        in_row = [a for a in owned_arrays[gr * cols : (gr + 1) * cols] if a.size]
-        if in_row:
-            row_ranges.append((int(in_row[0][0]), int(in_row[-1][-1]) + 1))
-        else:
-            row_ranges.append((0, 0))
-    # The grid column of every edge target, computed once per grid row and
-    # shared by the row's ranks (each would otherwise redo the same
-    # owner-gather over the row's full edge slice).
-    owner_col = owner % cols
-    row_adj_cols = [
-        owner_col[graph.adj[graph.indptr[lo] : graph.indptr[hi]]]
-        for lo, hi in row_ranges
-    ]
-    ranks = [
-        _GridRank(
-            r,
-            rows,
-            cols,
-            graph,
-            owner,
-            owned_arrays[r],
-            row_ranges[r // cols],
-            coalesce=coalesce,
-            vertex_dtype=vertex_dtype,
-            adj_cols=row_adj_cols[r // cols],
+            coalesce = config.coalesce
+            small_enough = n <= int(np.iinfo(np.uint32).max)
+            vertex_dtype = (
+                np.uint32 if (config.compressed_indices and small_enough) else np.int64
+            )
+        self.part = part
+        owner = np.asarray(part.owner_array)
+        owned_arrays = [part.vertices_of(r) for r in range(num_ranks)]
+        # Each grid row's source range: the union of its ranks' (contiguous,
+        # ordered) owned ranges.  Row-local state spans exactly this range.
+        row_ranges: list[tuple[int, int]] = []
+        for gr in range(rows):
+            in_row = [a for a in owned_arrays[gr * cols : (gr + 1) * cols] if a.size]
+            if in_row:
+                row_ranges.append((int(in_row[0][0]), int(in_row[-1][-1]) + 1))
+            else:
+                row_ranges.append((0, 0))
+        # The grid column of every edge target, computed once per grid row
+        # and shared by the row's ranks (each would otherwise redo the same
+        # owner-gather over the row's full edge slice).
+        owner_col = owner % cols
+        row_adj_cols = [
+            owner_col[graph.adj[graph.indptr[lo] : graph.indptr[hi]]]
+            for lo, hi in row_ranges
+        ]
+        ranks = [
+            _GridRank(
+                r,
+                rows,
+                cols,
+                graph,
+                owner,
+                owned_arrays[r],
+                row_ranges[r // cols],
+                coalesce=coalesce,
+                vertex_dtype=vertex_dtype,
+                adj_cols=row_adj_cols[r // cols],
+            )
+            for r in range(num_ranks)
+        ]
+        src_rank = ranks[int(owner[self.source])]
+        src_rank.dist_row[self.source - src_rank.row_lo] = 0.0
+        src_rank.frontier = np.array(
+            [self.source - src_rank.row_lo], dtype=np.int64
         )
-        for r in range(num_ranks)
-    ]
-    src_rank = ranks[int(owner[source])]
-    src_rank.dist_row[source - src_rank.row_lo] = 0.0
-    src_rank.frontier = np.array([source - src_rank.row_lo], dtype=np.int64)
+        return ranks
 
-    exec_obj, owns_executor = resolve_executor(executor, workers)
-    team = exec_obj.team(ranks, tracer=tracer)
+    def votes(self, ctx: EngineContext) -> np.ndarray:
+        return np.array(ctx.team.call("frontier_size"), dtype=np.float64)
 
-    rounds = 0
-    max_partners = 0
-    try:
-      # Solve span: bounds wall-clock attribution (see dist_sssp).
-      with tracer.span(
-          "solve", cat="engine", backend=team.backend, workers=team.num_workers
-      ):
-        while True:
-            active = np.array(team.call("frontier_size"), dtype=np.float64)
-            total_active = fabric.allreduce(active, op="sum")
-            if total_active == 0:
-                break
-            rounds += 1
-            with tracer.span(
-                "round",
-                cat="engine",
-                phase="frontier",
-                epoch=rounds,
-                frontier=int(total_active),
-            ) as sp:
-                # Phase 1: row broadcast of owned frontiers.
-                bcast = team.call("broadcast_frontier", parallel=True)
-                max_partners = max(
-                    max_partners, max((len(o) for o in bcast), default=0)
-                )
-                inboxes = fabric.exchange(bcast)
-                team.call(
-                    "receive_frontier",
-                    per_rank=[(m,) for m in inboxes],
-                    parallel=True,
-                )
-                # Phase 2: block relaxation + column reduce to owners.
-                reduce_out = team.call("relax_block", parallel=True)
-                max_partners = max(
-                    max_partners, max((len(o) for o in reduce_out), default=0)
-                )
-                inboxes = fabric.exchange(reduce_out)
-                team.call(
-                    "receive_candidates",
-                    per_rank=[(m,) for m in inboxes],
-                    parallel=True,
-                )
-                work = np.array(team.call("take_step_work"), dtype=np.float64)
-                fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
-                critical_path, sum_of_ranks = team.take_step_timing()
-                sp.tag(
-                    edges=int(work[:, 0].sum()),
-                    bytes=int(work[:, 1].sum()),
-                    critical_path=critical_path,
-                    sum_of_ranks=sum_of_ranks,
-                )
-        exports = team.call("export_final")
-    finally:
-        team.close()
-        if owns_executor:
-            exec_obj.close()
+    def done(self, reduced: float) -> bool:
+        return reduced == 0
 
-    dist = np.full(n, _INF, dtype=np.float64)
-    for r, export in zip(ranks, exports):
-        dist[r.owned] = export["owned_dist"]
-    result = SSSPResult(
-        source=source, dist=dist, parent=derive_parents(graph, dist, source)
-    )
-    result.counters.add("rounds", rounds)
-    result.counters.add(
-        "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
-    )
-    result.meta.update(
-        algorithm="distributed_sssp_2d", grid=f"{rows}x{cols}", partition=part.kind
-    )
-    if config is not None:
-        result.meta["variant"] = config.variant_name()
-    if fabric.faults is not None:
-        result.meta["faults"] = fabric.faults.spec.describe()
-        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
-        result.counters.add("retry_rounds", fabric.trace.retries)
-        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
-        result.counters.add("rank_stalls", fabric.trace.stalls)
-    if fabric.sanitizer is not None:
-        result.meta["sanitizer"] = fabric.sanitizer.report()
-    rank_bytes = [e["nbytes"] for e in exports]
-    rank_state_only = [e["nbytes"] - e["graph_nbytes"] for e in exports]
-    rank_lengths = [e["lengths"] for e in exports]
-    return TwoDRun(
-        result=result,
-        rows=rows,
-        cols=cols,
-        simulated_seconds=fabric.clock.total,
-        time_breakdown=fabric.clock.breakdown(),
-        trace_summary=fabric.trace.summary(),
-        max_partners_per_rank=max_partners,
-        meta={
-            "executor": {"backend": team.backend, "workers": team.num_workers},
-            "rank_state": {
-                "max_bytes": max(rank_bytes),
-                "total_bytes": sum(rank_bytes),
-                "max_state_bytes": max(rank_state_only),
-                "max_array_len": max(max(d.values()) for d in rank_lengths),
+    def step(self, ctx: EngineContext, total_active: float) -> None:
+        team, fabric = ctx.team, ctx.fabric
+        self.rounds += 1
+        with ctx.tracer.span(
+            "round",
+            cat="engine",
+            phase="frontier",
+            epoch=self.rounds,
+            frontier=int(total_active),
+        ) as sp:
+            # Phase 1: row broadcast of owned frontiers.
+            bcast = team.call("broadcast_frontier", parallel=True)
+            self.max_partners = max(
+                self.max_partners, max((len(o) for o in bcast), default=0)
+            )
+            inboxes = fabric.exchange(bcast)
+            team.call(
+                "receive_frontier",
+                per_rank=[(m,) for m in inboxes],
+                parallel=True,
+            )
+            # Phase 2: block relaxation + column reduce to owners.
+            reduce_out = team.call("relax_block", parallel=True)
+            self.max_partners = max(
+                self.max_partners, max((len(o) for o in reduce_out), default=0)
+            )
+            inboxes = fabric.exchange(reduce_out)
+            team.call(
+                "receive_candidates",
+                per_rank=[(m,) for m in inboxes],
+                parallel=True,
+            )
+            work = np.array(team.call("take_step_work"), dtype=np.float64)
+            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            critical_path, sum_of_ranks = team.take_step_timing()
+            sp.tag(
+                edges=int(work[:, 0].sum()),
+                bytes=int(work[:, 1].sum()),
+                critical_path=critical_path,
+                sum_of_ranks=sum_of_ranks,
+            )
+
+    def finalize(self, ctx: EngineContext, exports: list[dict]) -> TwoDRun:
+        fabric = ctx.fabric
+        dist = np.full(ctx.graph.num_vertices, _INF, dtype=np.float64)
+        for r, export in zip(ctx.ranks, exports):
+            dist[r.owned] = export["owned_dist"]
+        result = SSSPResult(
+            source=self.source,
+            dist=dist,
+            parent=derive_parents(ctx.graph, dist, self.source),
+        )
+        result.counters.add("rounds", self.rounds)
+        result.counters.add(
+            "edges_relaxed", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
+        )
+        result.meta.update(
+            algorithm="distributed_sssp_2d",
+            grid=f"{self.rows}x{self.cols}",
+            partition=self.part.kind,
+        )
+        if self.config is not None:
+            result.meta["variant"] = self.config.variant_name()
+        attach_fabric_outcome(result, fabric)
+        return TwoDRun(
+            result=result,
+            rows=self.rows,
+            cols=self.cols,
+            simulated_seconds=fabric.clock.total,
+            time_breakdown=fabric.clock.breakdown(),
+            trace_summary=fabric.trace.summary(),
+            max_partners_per_rank=self.max_partners,
+            meta={
+                "executor": executor_meta(ctx.team),
+                "rank_state": rank_state_meta(exports),
             },
-        },
-    )
+        )

@@ -1,0 +1,43 @@
+"""The generic superstep substrate every distributed engine runs on.
+
+Two layers live here:
+
+* :mod:`repro.engine.driver` — the low-level loop (vote → fabric
+  allreduce → engine-defined step) shared by the 1-D ∆-stepping, 2-D
+  checkerboard, and distributed BFS engines, plus the finalize
+  bookkeeping they all repeat (fault counters, sanitizer report,
+  executor/rank-state meta).
+* :mod:`repro.engine.protocol` — the high-level vertex-kernel substrate:
+  implement the small :class:`~repro.engine.protocol.Kernel` protocol
+  (``init_state`` / ``frontier_from`` / ``gen_messages`` /
+  ``apply_messages`` / ``vote`` / ``done``) and
+  :func:`~repro.engine.protocol.run_kernel` supplies the rest — owner
+  routing over the fabric, executor backends, fault injection, the
+  sanitizer, tracer spans and profile buckets.  Connected components,
+  PageRank and k-core (:mod:`repro.engine.kernels`) are each ~100 lines
+  on this interface.
+
+:mod:`repro.engine.validation` centralizes the parameter checks every
+engine shares, so error messages agree across engines by construction.
+"""
+
+from repro.engine.driver import (
+    EngineContext,
+    SuperstepEngine,
+    run_superstep_engine,
+)
+from repro.engine.protocol import Kernel, KernelRun, RankContext, run_kernel
+from repro.engine.results import CorenessResult, LabelsResult, RanksResult
+
+__all__ = [
+    "EngineContext",
+    "SuperstepEngine",
+    "run_superstep_engine",
+    "Kernel",
+    "KernelRun",
+    "RankContext",
+    "run_kernel",
+    "LabelsResult",
+    "RanksResult",
+    "CorenessResult",
+]

@@ -1,0 +1,223 @@
+"""The generic superstep driver every distributed engine runs on.
+
+All three original engines (1-D ∆-stepping, 2-D frontier relaxation,
+direction-optimizing BFS) share one loop shape: build per-rank state,
+seed it, then repeat *(gather a per-rank vote → fabric allreduce →
+terminate or run one engine-defined step of team phases and exchanges)*
+until the vote converges, gather the per-rank exports, and assemble a run
+object.  This module owns that shape — fabric construction, executor/team
+lifecycle, the ``solve`` tracer span bounding wall-clock attribution, and
+the shared finalize bookkeeping (fault counters, sanitizer report,
+executor and rank-state meta) — parameterized by a
+:class:`SuperstepEngine`.
+
+What stays engine-defined is exactly what differs between engines: rank
+construction/seeding, the vote (min live bucket, frontier size), and the
+step body (light/heavy phases, row broadcast + column reduce, level
+expansion).  The driver performs team and fabric calls in the same
+canonical order whatever the engine, which is why re-expressing an engine
+on this substrate is bit-identical: the byte-exact equivalence fixtures
+pin the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simmpi.executor import RankExecutor, RankTeam, resolve_executor
+from repro.simmpi.fabric import Fabric
+from repro.simmpi.faults import FaultPlan, FaultSpec
+from repro.simmpi.machine import MachineSpec, small_cluster
+
+__all__ = [
+    "EngineContext",
+    "SuperstepEngine",
+    "run_superstep_engine",
+    "attach_fabric_outcome",
+    "executor_meta",
+    "rank_state_meta",
+]
+
+
+@dataclass
+class EngineContext:
+    """Everything a step body may touch, handed to every engine hook.
+
+    The driver owns construction and teardown; engines only *use* these.
+    ``ranks`` holds the driver-side rank objects — under the process
+    backend they are pre-fork copies whose constructor-set immutable
+    attributes (ranges, owned arrays) remain accurate, but whose mutable
+    state is stale; all state interaction goes through ``team``.
+    """
+
+    graph: CSRGraph
+    num_ranks: int
+    machine: MachineSpec
+    fabric: Fabric
+    team: RankTeam
+    tracer: Tracer
+    ranks: list
+
+
+class SuperstepEngine(Protocol):
+    """What an engine must provide to run on the superstep driver.
+
+    Attributes:
+        name: short engine name (lands in run meta and tracer spans).
+        hierarchical: whether the fabric aggregates reduces hierarchically.
+        vote_op: the allreduce op combining per-rank votes
+            (``"min"``/``"sum"``/``"max"``).
+    """
+
+    name: str
+    hierarchical: bool
+    vote_op: str
+
+    def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list:
+        """Construct and seed the per-rank state objects, in rank order."""
+        ...
+
+    def votes(self, ctx: EngineContext) -> np.ndarray:
+        """Per-rank convergence votes (float64), gathered via the team."""
+        ...
+
+    def done(self, reduced: float) -> bool:
+        """Whether the allreduced vote means the run has converged."""
+        ...
+
+    def step(self, ctx: EngineContext, reduced: float) -> None:
+        """One engine-defined superstep/epoch of team phases + exchanges."""
+        ...
+
+    def finalize(self, ctx: EngineContext, exports: list[dict]) -> Any:
+        """Assemble the run object from the per-rank final exports."""
+        ...
+
+
+def run_superstep_engine(
+    graph: CSRGraph,
+    engine: SuperstepEngine,
+    *,
+    num_ranks: int,
+    machine: MachineSpec | None = None,
+    tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+    sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
+) -> Any:
+    """Run ``engine`` to convergence on a simulated machine.
+
+    The loop is vote → allreduce → step: every engine terminates on a
+    fabric allreduce over per-rank votes (so termination itself is charged
+    and audited like any collective), and everything between the first
+    vote and the final export happens inside one ``solve`` span — the
+    anchor the wall-clock profiler reconciles its buckets against.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
+    if machine is None:
+        machine = small_cluster(max(num_ranks, 1))
+    fabric = Fabric(
+        machine,
+        num_ranks,
+        hierarchical=engine.hierarchical,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+    )
+    ranks = engine.build_ranks(graph, num_ranks)
+    # The team owns where rank methods execute (inline, thread pool, or
+    # forked workers).  It is built after seeding so the process backend's
+    # fork inherits the seeded state; from here on every rank interaction
+    # goes through the team — the parent's rank objects may be stale copies.
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    team = exec_obj.team(ranks, tracer=tracer)
+    ctx = EngineContext(
+        graph=graph,
+        num_ranks=num_ranks,
+        machine=machine,
+        fabric=fabric,
+        team=team,
+        tracer=tracer,
+        ranks=ranks,
+    )
+    try:
+        # The solve span bounds wall-clock attribution: everything the team
+        # and fabric do between here and the final export happens inside
+        # it, so the profiler can reconcile its buckets against this one
+        # wall duration (setup/teardown are reported separately).
+        with tracer.span(
+            "solve", cat="engine", backend=team.backend, workers=team.num_workers
+        ):
+            while True:
+                votes = engine.votes(ctx)
+                reduced = fabric.allreduce(votes, op=engine.vote_op)
+                if engine.done(reduced):
+                    break
+                engine.step(ctx, reduced)
+            exports = team.call("export_final")
+    finally:
+        team.close()
+        if owns_executor:
+            exec_obj.close()
+    return engine.finalize(ctx, exports)
+
+
+def attach_fabric_outcome(result, fabric: Fabric) -> None:
+    """Fold the fabric's fault and sanitizer outcomes into a result.
+
+    Every engine records these identically: fault-injection counters and
+    the spec that produced them (when a plan was active), and the
+    sanitizer's audit summary (when auditing was on).
+    """
+    if fabric.faults is not None:
+        result.meta["faults"] = fabric.faults.spec.describe()
+        result.counters.add("messages_dropped", fabric.trace.messages_dropped)
+        result.counters.add("retry_rounds", fabric.trace.retries)
+        result.counters.add("bytes_retransmitted", fabric.trace.bytes_retransmitted)
+        result.counters.add("rank_stalls", fabric.trace.stalls)
+    if fabric.sanitizer is not None:
+        result.meta["sanitizer"] = fabric.sanitizer.report()
+
+
+def executor_meta(team: RankTeam) -> dict:
+    """The executor block of a run's meta: which backend actually ran."""
+    return {"backend": team.backend, "workers": team.num_workers}
+
+
+def rank_state_meta(
+    exports: list[dict], *, dense_exclude: tuple[str, ...] | None = None
+) -> dict:
+    """The rank-state block of a run's meta, from per-rank final exports.
+
+    Every engine's ``export_final`` reports ``nbytes`` (resident state,
+    graph share included), ``graph_nbytes`` (the rank's share of the input
+    edges — resident in any layout), and ``lengths`` (every resident
+    per-vertex array).  ``dense_exclude`` names arrays that size with a
+    halo rather than with owned vertices (the 1-D engine's ghost cache);
+    when given, a ``max_dense_len`` entry tracks only the truly dense
+    arrays the owned-local layout shrinks from O(n) to O(owned).
+    """
+    rank_bytes = [e["nbytes"] for e in exports]
+    rank_state_only = [e["nbytes"] - e["graph_nbytes"] for e in exports]
+    rank_lengths = [e["lengths"] for e in exports]
+    out = {
+        "max_bytes": max(rank_bytes),
+        "total_bytes": sum(rank_bytes),
+        # Algorithm state only: excludes the rank's share of the input
+        # edges (adjacency + weights), which is resident in any layout.
+        "max_state_bytes": max(rank_state_only),
+        "max_array_len": max(max(d.values()) for d in rank_lengths),
+    }
+    if dense_exclude is not None:
+        out["max_dense_len"] = max(
+            max(v for k, v in d.items() if k not in dense_exclude)
+            for d in rank_lengths
+        )
+    return out

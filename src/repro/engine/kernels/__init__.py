@@ -1,0 +1,44 @@
+"""The shipped vertex kernels: connected components, PageRank, k-core.
+
+Each is ~100 lines on the :class:`repro.engine.protocol.Kernel`
+interface and ships with a sequential oracle its result's
+``validate()`` hook checks against exactly.
+"""
+
+from repro.engine.kernels.cc import ConnectedComponents
+from repro.engine.kernels.kcore import KCore, kcore_reference
+from repro.engine.kernels.pagerank import PageRank, pagerank_reference
+
+__all__ = [
+    "ConnectedComponents",
+    "KCore",
+    "PageRank",
+    "KERNEL_NAMES",
+    "make_kernel",
+    "kcore_reference",
+    "pagerank_reference",
+]
+
+#: Registered whole-graph kernel names, in presentation order.
+KERNEL_NAMES = ("cc", "pagerank", "kcore")
+
+
+def make_kernel(name: str, **params):
+    """Construct a registered kernel by name; reject unknown names/params."""
+    ctor = {
+        "cc": ConnectedComponents,
+        "pagerank": PageRank,
+        "kcore": KCore,
+    }.get(name)
+    if ctor is None:
+        raise ValueError(
+            f"unknown kernel {name!r}; registered kernels: "
+            f"{', '.join(KERNEL_NAMES)}"
+        )
+    try:
+        return ctor(**params)
+    except TypeError:
+        raise TypeError(
+            f"kernel {name!r} got unexpected keyword arguments: "
+            f"{sorted(params)}"
+        ) from None

@@ -1,0 +1,488 @@
+"""The vertex-kernel substrate: write ~100 lines, get a distributed engine.
+
+A :class:`Kernel` describes only the algorithm — what per-vertex state to
+allocate, which vertices are active, what records they emit along their
+out-edges, and how arriving records fold into owned state.  Everything
+else is supplied by :func:`run_kernel` on top of the superstep driver:
+owner routing over contiguous 1-D partitions, the simulated fabric with
+its cost model, fault injection and the sanitizer, rank-execution
+backends (serial/thread/process), tracer spans and profile buckets, and
+the uniform :class:`KernelRun` summary.
+
+The substrate is deliberately order-disciplined so kernels can be exact:
+records travel the wire in *(owner rank ascending, generation order)*
+and arrive concatenated in source-rank order, which means a kernel that
+generates in (source vertex, adjacency position) order and applies with
+a stable per-target grouping reproduces a sequential oracle bitwise —
+including floating-point sums (see the PageRank kernel).
+
+Connected components, PageRank and k-core
+(:mod:`repro.engine.kernels`) are the three shipped kernels; the README's
+"Writing a kernel" walk-through builds connected components from scratch
+on this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.engine.driver import (
+    EngineContext,
+    attach_fabric_outcome,
+    executor_meta,
+    rank_state_meta,
+    run_superstep_engine,
+)
+from repro.engine.validation import check_num_ranks, make_contiguous_partition
+from repro.graph.csr import CSRGraph
+from repro.obs.tracer import Tracer
+from repro.partition import Partition1D
+from repro.simmpi.executor import RankExecutor
+from repro.simmpi.fabric import Message
+from repro.simmpi.faults import FaultPlan, FaultSpec
+from repro.simmpi.machine import MachineSpec
+
+__all__ = ["Kernel", "KernelRun", "RankContext", "run_kernel"]
+
+#: Finite stand-in for "no vote": sums/mins of it never reach a NaN and
+#: the sanitizer's finite-contribution audit stays happy (same convention
+#: as the 1-D engine's bucket vote).
+VOTE_INF = 1e300
+
+
+@dataclass(frozen=True)
+class RankContext:
+    """The fixed, read-only view a kernel's rank-side hooks receive.
+
+    Owned vertices are the contiguous global range ``[lo, hi)``;
+    ``local_graph`` holds their out-edges with *local* row indices and
+    *global* adjacency targets, so ``global id = local id + lo`` is the
+    whole index translation a kernel ever needs.
+    """
+
+    rank: int
+    num_ranks: int
+    num_vertices: int
+    lo: int
+    hi: int
+    local_graph: CSRGraph
+
+    @property
+    def owned_count(self) -> int:
+        return self.hi - self.lo
+
+
+class Kernel(Protocol):
+    """What an algorithm must provide to run on the substrate.
+
+    Attributes:
+        name: kernel name (lands in run meta, spans and the CLI).
+        vote_op: allreduce op combining per-rank votes (``"min"``/``"sum"``/``"max"``).
+        drain: whether a superstep loops generate→exchange→apply until no
+            rank has active vertices (k-core's peeling cascade) instead of
+            running exactly one pass (label propagation, power iteration).
+        value_dtype: dtype of the ``value`` wire field this kernel emits.
+
+    All rank-side hooks receive ``(state, ctx)`` and must touch nothing
+    else: under the process backend they execute in forked workers, so
+    mutations of kernel-object attributes would be lost.  ``done`` is the
+    one parent-side hook and may keep parent-side state.
+    """
+
+    name: str
+    vote_op: str
+    drain: bool
+    value_dtype: np.dtype
+
+    def init_state(self, ctx: RankContext) -> dict:
+        """Allocate one rank's owned-local state (arrays sized by owned_count)."""
+        ...
+
+    def frontier_from(self, state: dict, ctx: RankContext) -> np.ndarray:
+        """Local ids of the vertices active this pass.  Must be pure."""
+        ...
+
+    def gen_messages(
+        self, state: dict, ctx: RankContext, frontier: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Emit ``(targets_global, values, edges_scanned)`` from the frontier."""
+        ...
+
+    def apply_messages(
+        self, state: dict, ctx: RankContext, targets: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Fold arrived records (targets already local) into owned state."""
+        ...
+
+    def vote(self, state: dict, ctx: RankContext) -> float:
+        """This rank's contribution to the convergence allreduce."""
+        ...
+
+    def done(self, reduced: float, steps: int) -> bool:
+        """Whether the allreduced vote, after ``steps`` supersteps, means done."""
+        ...
+
+    def export_state(self, state: dict, ctx: RankContext) -> dict:
+        """The per-rank arrays ``finalize`` assembles the answer from."""
+        ...
+
+    def finalize(self, graph: CSRGraph, exports: list[dict], steps: int) -> Any:
+        """Build the kernel-typed result from per-rank exports in rank order."""
+        ...
+
+
+class _KernelRank:
+    """Generic per-rank plumbing shared by every vertex kernel.
+
+    Owns the routing and wire concerns a kernel never sees: the owner
+    split of generated records, outbox packing, inbox unpacking, and the
+    per-superstep work accounting the cost model charges.  All kernel
+    state lives in ``self.state`` in owned-local index space.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        num_ranks: int,
+        graph: CSRGraph,
+        starts: np.ndarray,
+        kernel: Kernel,
+    ) -> None:
+        self.rank = rank
+        self.num_ranks = num_ranks
+        # repro: index-space: self.starts[rank]=global, owned=global
+        self.starts = starts  # contiguous range boundaries, len P+1
+        lo, hi = int(starts[rank]), int(starts[rank + 1])
+        owned = np.arange(lo, hi, dtype=np.int64)
+        self.kernel = kernel
+        self.ctx = RankContext(
+            rank=rank,
+            num_ranks=num_ranks,
+            num_vertices=graph.num_vertices,
+            lo=lo,
+            hi=hi,
+            local_graph=graph.extract_rows(owned),
+        )
+        self.state = kernel.init_state(self.ctx)
+        # Outbox accumulators: per destination, lists of (targets, values).
+        self._out: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(num_ranks)
+        ]
+        self.step_edges = 0
+        self.step_bytes = 0
+
+    # -- kernel hook dispatch (team-callable) -------------------------------
+
+    def kernel_begin_step(self, reduced: float) -> None:
+        begin = getattr(self.kernel, "begin_step", None)
+        if begin is not None:
+            begin(self.state, self.ctx, reduced)
+
+    def kernel_generate(self) -> None:
+        """Run the kernel's generate hook and route what it emitted."""
+        frontier = self.kernel.frontier_from(self.state, self.ctx)
+        if frontier.size == 0:
+            return
+        targets, values, scanned = self.kernel.gen_messages(
+            self.state, self.ctx, frontier
+        )
+        self.step_edges += int(scanned)
+        self._route(targets, values)
+
+    def kernel_apply(self, msg: Message | None) -> None:
+        """Unpack the inbox (possibly empty) and fold it into owned state.
+
+        The kernel always runs — vertex programs like PageRank update
+        every owned vertex each pass even when nothing arrived.
+        """
+        # repro: index-space: msg["vertex"]=global, targets=local
+        if msg is None:
+            targets = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=self.kernel.value_dtype)
+        else:
+            targets = msg["vertex"] - self.ctx.lo
+            values = msg["value"]
+        self.kernel.apply_messages(self.state, self.ctx, targets, values)
+
+    def kernel_vote(self) -> float:
+        return float(self.kernel.vote(self.state, self.ctx))
+
+    def kernel_pending(self) -> float:
+        """Active-vertex count after apply — the drain loop's quiescence vote."""
+        return float(self.kernel.frontier_from(self.state, self.ctx).size)
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(self, targets: np.ndarray, values: np.ndarray) -> None:
+        """Split emitted records by owner, preserving generation order.
+
+        Self-addressed records go through the fabric like any others: the
+        inbox then holds *every* record for an owned vertex concatenated
+        in source-rank order, which is what lets order-sensitive kernels
+        reproduce a sequential oracle bitwise (and keeps the sanitizer's
+        conservation audit covering the whole payload).
+        """
+        # repro: wire-path
+        # repro: index-space: targets=global
+        if targets.size == 0:
+            return
+        if self.num_ranks == 1:
+            self._out[0].append((targets, values))
+            return
+        owners = np.searchsorted(self.starts, targets, side="right") - 1
+        first = int(owners[0])
+        if owners.size == 1 or not np.any(owners != first):
+            self._out[first].append((targets, values))
+            return
+        # The per-destination record order this split produces is the wire
+        # byte order, so the owner argsort must stay stable.
+        order = np.argsort(owners, kind="stable")
+        so = owners[order]
+        st = targets[order]
+        sv = values[order]
+        cuts = np.flatnonzero(np.diff(so)) + 1
+        bounds = np.concatenate(([0], cuts, [so.size]))
+        for i in range(bounds.size - 1):
+            b, e = int(bounds[i]), int(bounds[i + 1])
+            self._out[int(so[b])].append((st[b:e], sv[b:e]))
+
+    def flush_outbox(self) -> dict[int, Message]:
+        """Pack queued records into one message per destination."""
+        out: dict[int, Message] = {}
+        for dst in range(self.num_ranks):
+            parts = self._out[dst]
+            if not parts:
+                continue
+            self._out[dst] = []
+            if len(parts) == 1:
+                targets, values = parts[0]
+            else:
+                targets = np.concatenate([p[0] for p in parts])
+                values = np.concatenate([p[1] for p in parts])
+            msg = Message(vertex=targets, value=values)
+            self.step_bytes += msg.nbytes
+            out[dst] = msg
+        return out
+
+    def take_step_work(self) -> tuple[int, int]:
+        """Return and reset (edges, bytes) since the last call."""
+        work = (self.step_edges, self.step_bytes)
+        self.step_edges = 0
+        self.step_bytes = 0
+        return work
+
+    # -- introspection ------------------------------------------------------
+
+    def export_final(self) -> dict:
+        """Final read-out: kernel arrays plus the driver's memory meta."""
+        kernel_export = self.kernel.export_state(self.state, self.ctx)
+        lengths = {
+            k: int(np.asarray(v).size) for k, v in kernel_export.items()
+        }
+        lengths["local_indptr"] = int(self.ctx.local_graph.indptr.size)
+        state_bytes = sum(
+            int(v.nbytes) for v in self.state.values() if isinstance(v, np.ndarray)
+        )
+        graph_bytes = int(
+            self.ctx.local_graph.adj.nbytes + self.ctx.local_graph.weight.nbytes
+        )
+        return {
+            "kernel": kernel_export,
+            "nbytes": state_bytes + int(self.ctx.local_graph.nbytes),
+            "graph_nbytes": graph_bytes,
+            "lengths": lengths,
+        }
+
+
+@dataclass
+class KernelRun:
+    """What a substrate run produced: answer, costs, measurements.
+
+    Implements the :class:`repro.api.RunSummary` protocol (``engine``,
+    ``kernel``, ``result``, ``modeled_time``, ``comm``, ``report()``)
+    shared by every engine.
+    """
+
+    engine = "dist1d"
+
+    kernel: str
+    result: Any
+    num_ranks: int
+    simulated_seconds: float
+    time_breakdown: dict[str, float]
+    trace_summary: dict[str, float | int]
+    work_imbalance: float
+    machine_name: str
+    step_bytes: list[int] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def modeled_time(self) -> float:
+        """Simulated seconds the cost model charged (RunSummary protocol)."""
+        return self.simulated_seconds
+
+    @property
+    def comm(self) -> dict[str, float | int]:
+        """Exact communication statistics (RunSummary protocol)."""
+        return self.trace_summary
+
+    def report(self) -> dict:
+        """Uniform engine-agnostic run report (RunSummary protocol)."""
+        return {
+            "engine": self.engine,
+            "kernel": self.kernel,
+            "num_ranks": self.num_ranks,
+            "modeled_time": self.modeled_time,
+            "time_breakdown": dict(self.time_breakdown),
+            "comm": dict(self.comm),
+            "counters": self.result.counters.as_dict(),
+            "work_imbalance": self.work_imbalance,
+            "meta": dict(self.meta),
+        }
+
+
+class _KernelEngine:
+    """Adapter expressing a vertex kernel as a :class:`SuperstepEngine`."""
+
+    hierarchical = False
+
+    def __init__(self, kernel: Kernel, partition: Partition1D) -> None:
+        self.kernel = kernel
+        self.name = kernel.name
+        self.vote_op = kernel.vote_op
+        self.partition = partition
+        self.steps = 0
+
+    def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list[_KernelRank]:
+        starts = np.concatenate(
+            ([0], np.cumsum(self.partition.counts().astype(np.int64)))
+        )
+        return [
+            _KernelRank(r, num_ranks, graph, starts, self.kernel)
+            for r in range(num_ranks)
+        ]
+
+    def votes(self, ctx: EngineContext) -> np.ndarray:
+        return np.array(ctx.team.call("kernel_vote"), dtype=np.float64)
+
+    def done(self, reduced: float) -> bool:
+        return self.kernel.done(reduced, self.steps)
+
+    def _charge_pass(self, ctx: EngineContext) -> tuple[int, int]:
+        work = np.array(ctx.team.call("take_step_work"), dtype=np.float64)
+        ctx.fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+        totals = work.sum(axis=0)
+        return int(totals[0]), int(totals[1])
+
+    def step(self, ctx: EngineContext, reduced: float) -> None:
+        team, fabric, tracer = ctx.team, ctx.fabric, ctx.tracer
+        self.steps += 1
+        with tracer.span(
+            "superstep", cat="engine", kernel=self.name, step=self.steps
+        ) as sp:
+            team.call("kernel_begin_step", common=(reduced,))
+            step_edges = 0
+            step_bytes = 0
+            # One generate→exchange→apply pass per superstep; draining
+            # kernels (k-core) repeat until every rank's frontier is empty,
+            # with quiescence detected by an any-allreduce like the 1-D
+            # engine's light-phase loop.
+            while True:
+                team.call("kernel_generate", parallel=True)
+                outboxes = team.call("flush_outbox")
+                inboxes = fabric.exchange(outboxes)
+                team.call(
+                    "kernel_apply", per_rank=[(m,) for m in inboxes], parallel=True
+                )
+                edges, nbytes = self._charge_pass(ctx)
+                step_edges += edges
+                step_bytes += nbytes
+                if not self.kernel.drain:
+                    break
+                pending = np.array(team.call("kernel_pending"), dtype=np.float64)
+                if not fabric.allreduce_any(pending):
+                    break
+            critical_path, sum_of_ranks = team.take_step_timing()
+            sp.tag(
+                edges=step_edges,
+                bytes=step_bytes,
+                critical_path=critical_path,
+                sum_of_ranks=sum_of_ranks,
+            )
+
+    def finalize(self, ctx: EngineContext, exports: list[dict]) -> KernelRun:
+        fabric = ctx.fabric
+        result = self.kernel.finalize(
+            ctx.graph, [e["kernel"] for e in exports], self.steps
+        )
+        result.counters.add("supersteps", self.steps)
+        result.counters.add(
+            "edges_scanned", int(fabric.work_per_rank.get("edges", np.zeros(1)).sum())
+        )
+        result.meta.update(kernel=self.name, num_ranks=ctx.num_ranks)
+        attach_fabric_outcome(result, fabric)
+        return KernelRun(
+            kernel=self.name,
+            result=result,
+            num_ranks=ctx.num_ranks,
+            simulated_seconds=fabric.clock.total,
+            time_breakdown=fabric.clock.breakdown(),
+            trace_summary=fabric.trace.summary(),
+            work_imbalance=fabric.compute_imbalance("edges"),
+            machine_name=ctx.machine.name,
+            step_bytes=list(fabric.trace.step_bytes),
+            meta={
+                "partition": self.partition.kind,
+                "executor": executor_meta(ctx.team),
+                "rank_state": rank_state_meta(exports),
+            },
+        )
+
+
+def run_kernel(
+    graph: CSRGraph,
+    kernel: Kernel | str,
+    *,
+    num_ranks: int = 8,
+    machine: MachineSpec | None = None,
+    partition: str = "block",
+    tracer: Tracer | None = None,
+    faults: FaultPlan | FaultSpec | str | None = None,
+    sanitize: bool = False,
+    executor: str | RankExecutor | None = None,
+    workers: int | None = None,
+) -> KernelRun:
+    """Run a vertex kernel distributed over a simulated machine.
+
+    ``kernel`` is a :class:`Kernel` instance or a registered name
+    (``"cc"``, ``"pagerank"``, ``"kcore"`` —
+    :func:`repro.engine.kernels.make_kernel`).  The remaining parameters
+    mean exactly what they mean for the SSSP/BFS engines: simulated
+    ``machine``, contiguous 1-D ``partition``, telemetry ``tracer``,
+    deterministic ``faults``, fabric ``sanitize`` auditing, and the
+    rank-execution ``executor`` backend — results are bit-identical
+    across backends and with faults on or off.
+    """
+    if isinstance(kernel, str):
+        from repro.engine.kernels import make_kernel
+
+        kernel = make_kernel(kernel)
+    check_num_ranks(num_ranks)
+    part = make_contiguous_partition(
+        graph, partition, num_ranks, "the vertex-kernel substrate"
+    )
+    impl = _KernelEngine(kernel, part)
+    return run_superstep_engine(
+        graph,
+        impl,
+        num_ranks=num_ranks,
+        machine=machine,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+        executor=executor,
+        workers=workers,
+    )

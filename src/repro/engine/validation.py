@@ -1,0 +1,109 @@
+"""Centralized parameter validation shared by every engine and kernel.
+
+Before the superstep substrate existed, each engine re-implemented its own
+checks for the same parameters — the shared-memory kernel and the 1-D
+engine validated ∆ with different wording, the 2-D engine and distributed
+BFS each phrased the contiguous-partition requirement their own way, and a
+user flipping ``engine=`` saw the error message change shape for the same
+mistake.  Every check lives here now, so the messages agree by
+construction and a new kernel inherits them by calling one function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition import (
+    Partition1D,
+    block1d,
+    block1d_edge_balanced,
+    hashed1d,
+)
+
+__all__ = [
+    "CONTIGUOUS_PARTITIONS",
+    "PARTITIONS",
+    "check_source",
+    "check_num_ranks",
+    "check_delta",
+    "check_direction",
+    "check_grid",
+    "make_partition",
+    "make_contiguous_partition",
+]
+
+#: Partition kinds whose owned ranges are contiguous vertex-id intervals.
+CONTIGUOUS_PARTITIONS = ("block", "edge_balanced")
+
+#: Every 1-D partition kind an engine can request.
+PARTITIONS = ("block", "edge_balanced", "hashed")
+
+
+def check_source(graph: CSRGraph, source: int) -> None:
+    """Reject an out-of-range source vertex."""
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+
+
+def check_num_ranks(num_ranks: int) -> None:
+    """Reject a non-positive rank count."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+
+
+def check_delta(delta: float, adaptive: bool) -> float:
+    """Validate a ∆-stepping bucket width, however it was chosen.
+
+    ``adaptive=True`` marks a value produced by
+    :func:`repro.core.adaptive.choose_delta` rather than the caller — a
+    degenerate weight distribution can push the heuristic to 0 or NaN,
+    and :class:`~repro.core.buckets.BucketQueue` would spin forever on a
+    non-positive bucket width, so the *chosen* value is what gets checked.
+    """
+    if not np.isfinite(delta) or delta <= 0:
+        origin = "choose_delta(graph) returned" if adaptive else "got"
+        raise ValueError(f"delta must be positive and finite; {origin} {delta!r}")
+    return float(delta)
+
+
+def check_direction(direction: str) -> None:
+    """Reject an unknown BFS direction strategy."""
+    if direction not in ("auto", "top_down", "bottom_up"):
+        raise ValueError(f"unknown direction {direction!r}")
+
+
+def check_grid(rows: int, cols: int, num_ranks: int) -> None:
+    """Reject a process grid that does not tile the rank count."""
+    if rows * cols != num_ranks:
+        raise ValueError(f"grid {rows}x{cols} does not match {num_ranks} ranks")
+
+
+def make_partition(graph: CSRGraph, kind: str, num_ranks: int) -> Partition1D:
+    """Build any 1-D partition by name; reject unknown kinds."""
+    if kind == "block":
+        return block1d(graph.num_vertices, num_ranks)
+    if kind == "edge_balanced":
+        return block1d_edge_balanced(graph, num_ranks)
+    if kind == "hashed":
+        return hashed1d(graph.num_vertices, num_ranks)
+    raise ValueError(f"unknown partition kind {kind!r}")
+
+
+def make_contiguous_partition(
+    graph: CSRGraph, kind: str, num_ranks: int, engine: str
+) -> Partition1D:
+    """Build a contiguous 1-D partition, naming the engine on rejection.
+
+    Engines whose routing relies on owned ranges being intervals (the 2-D
+    grid mapping, distributed BFS's bitmap allgather, the vertex-kernel
+    substrate's range-split router) call this instead of
+    :func:`make_partition` so the requirement reads the same everywhere.
+    """
+    if kind not in CONTIGUOUS_PARTITIONS:
+        raise ValueError(
+            f"{engine} needs a contiguous partition (block or edge_balanced); "
+            f"got {kind!r}"
+        )
+    return make_partition(graph, kind, num_ranks)

@@ -101,7 +101,7 @@ def run_graph500_bfs(
         run = api.run(
             graph,
             int(root),
-            engine="bfs",
+            kernel="bfs",
             num_ranks=num_ranks,
             machine=machine,
             faults=faults,

@@ -44,7 +44,7 @@ class TestFusionCapSweep:
 
     def test_cap_one_equals_no_fusion(self, kron11):
         from repro.core.config import SSSPConfig
-        from repro.core.dist_sssp import distributed_sssp
+        from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
         from repro.graph500.roots import sample_roots
 
         root = int(sample_roots(kron11, 1, seed=2022)[0])

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.dijkstra import dijkstra
 from repro.core.adaptive import choose_delta
-from repro.core.delta_stepping import delta_stepping
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
 from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.baselines.dijkstra import dijkstra
 from repro.baselines.simple_dist import simple_distributed_sssp
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import distributed_sssp
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph

@@ -6,8 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.dijkstra import dijkstra
-from repro.core.dist_sssp import distributed_sssp
-from repro.core.twod_engine import distributed_sssp_2d
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
+from repro.core.twod_engine import _distributed_sssp_2d as distributed_sssp_2d
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph.synth import grid_graph, path_graph, random_graph, star_graph

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.baselines.dijkstra import dijkstra
-from repro.core.delta_stepping import delta_stepping
-from repro.core.dist_sssp import distributed_sssp
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph.synth import grid_graph, path_graph, random_graph

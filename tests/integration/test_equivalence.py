@@ -14,8 +14,11 @@ from repro.baselines import (
     frontier_bellman_ford,
     simple_distributed_sssp,
 )
-from repro.bfs import bfs, distributed_bfs
-from repro.core import SSSPConfig, delta_stepping, distributed_sssp
+from repro.bfs import bfs
+from repro.bfs.dist_bfs import _distributed_bfs as distributed_bfs
+from repro.core import SSSPConfig
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph import build_csr, generate_kronecker
 from repro.graph.synth import grid_graph, random_graph, star_graph
 from repro.graph500 import validate_sssp

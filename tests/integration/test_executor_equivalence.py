@@ -18,7 +18,7 @@ SCALE = 9
 NUM_RANKS = 8
 FAULTS = "drop=0.04,delay=1us,seed=11"
 
-ENGINES = ("dist1d", "dist2d", "bfs")
+CELLS = (("sssp", "dist1d"), ("sssp", "dist2d"), ("bfs", "dist1d"))
 PARALLEL_BACKENDS = ("thread", "process")
 MODES = (
     {"faults": None, "sanitize": False},
@@ -40,18 +40,19 @@ def source(graph):
 
 @pytest.fixture(scope="module")
 def serial_runs(graph, source):
-    """Serial baseline per (engine, mode index), computed once."""
+    """Serial baseline per (kernel/engine cell, mode index), computed once."""
     runs = {}
-    for engine in ENGINES:
+    for kernel, engine in CELLS:
         for mi, mode in enumerate(MODES):
-            runs[engine, mi] = api.run(
-                graph, source, engine=engine, num_ranks=NUM_RANKS, **mode
+            runs[kernel, engine, mi] = api.run(
+                graph, source, kernel=kernel, engine=engine,
+                num_ranks=NUM_RANKS, **mode
             )
     return runs
 
 
-def _assert_identical(engine, base, run):
-    if engine == "bfs":
+def _assert_identical(kernel, base, run):
+    if kernel == "bfs":
         assert np.array_equal(base.result.parent, run.result.parent)
         assert np.array_equal(base.result.level, run.result.level)
     else:
@@ -73,15 +74,16 @@ def _assert_identical(engine, base, run):
     ids=["plain", "faults", "sanitize", "faults+sanitize"],
 )
 @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kernel,engine", CELLS)
 def test_backend_matches_serial(
-    graph, source, serial_runs, engine, backend, mode_index
+    graph, source, serial_runs, kernel, engine, backend, mode_index
 ):
     mode = MODES[mode_index]
-    base = serial_runs[engine, mode_index]
+    base = serial_runs[kernel, engine, mode_index]
     run = api.run(
         graph,
         source,
+        kernel=kernel,
         engine=engine,
         num_ranks=NUM_RANKS,
         executor=backend,
@@ -89,16 +91,19 @@ def test_backend_matches_serial(
         **mode,
     )
     assert run.meta["executor"] == {"backend": backend, "workers": 3}
-    _assert_identical(engine, base, run)
+    _assert_identical(kernel, base, run)
 
 
-@pytest.mark.parametrize("engine", ENGINES)
-def test_explicit_serial_backend_is_the_default(graph, source, serial_runs, engine):
+@pytest.mark.parametrize("kernel,engine", CELLS)
+def test_explicit_serial_backend_is_the_default(
+    graph, source, serial_runs, kernel, engine
+):
     run = api.run(
-        graph, source, engine=engine, num_ranks=NUM_RANKS, executor="serial"
+        graph, source, kernel=kernel, engine=engine, num_ranks=NUM_RANKS,
+        executor="serial"
     )
     assert run.meta["executor"] == {"backend": "serial", "workers": 1}
-    _assert_identical(engine, serial_runs[engine, 0], run)
+    _assert_identical(kernel, serial_runs[kernel, engine, 0], run)
 
 
 def test_shared_engine_rejects_executor(graph, source):
@@ -118,7 +123,7 @@ def test_single_worker_process_backend_matches(graph, source, serial_runs):
         executor="process",
         workers=1,
     )
-    _assert_identical("dist1d", serial_runs["dist1d", 0], run)
+    _assert_identical("sssp", serial_runs["sssp", "dist1d", 0], run)
 
 
 def test_more_workers_than_ranks_matches(graph, source, serial_runs):
@@ -130,4 +135,4 @@ def test_more_workers_than_ranks_matches(graph, source, serial_runs):
         executor="thread",
         workers=32,
     )
-    _assert_identical("dist1d", serial_runs["dist1d", 0], run)
+    _assert_identical("sssp", serial_runs["sssp", "dist1d", 0], run)

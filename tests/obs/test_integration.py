@@ -8,10 +8,10 @@ exchange escaped the telemetry stream.
 
 import numpy as np
 
-from repro.bfs.dist_bfs import distributed_bfs
-from repro.core.delta_stepping import delta_stepping
-from repro.core.dist_sssp import distributed_sssp
-from repro.core.twod_engine import distributed_sssp_2d
+from repro.bfs.dist_bfs import _distributed_bfs as distributed_bfs
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
+from repro.core.twod_engine import _distributed_sssp_2d as distributed_sssp_2d
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.harness import run_graph500_sssp

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.dijkstra import dijkstra
 from repro.core.config import SSSPConfig
-from repro.core.dist_sssp import distributed_sssp
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.simmpi.fabric import Fabric, Message

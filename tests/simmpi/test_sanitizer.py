@@ -208,7 +208,7 @@ class TestEndToEnd:
 
     def test_bfs_engine_survives_a_faulted_audit(self, graph):
         summary = api.run(
-            graph, 0, engine="bfs", num_ranks=4,
+            graph, 0, kernel="bfs", num_ranks=4,
             faults=self.FAULTS, sanitize=True,
         )
         rep = summary.result.meta["sanitizer"]

@@ -1,4 +1,4 @@
-"""The unified ``repro.api.run`` facade and the legacy-wrapper deprecations."""
+"""The unified ``repro.api.run`` facade: kernel registry × engine selector."""
 
 from __future__ import annotations
 
@@ -8,14 +8,17 @@ import numpy as np
 import pytest
 
 from repro import api, run
-from repro.api import ENGINES, RunSummary, SharedRun
+from repro.api import ENGINES, KERNELS, RunSummary, SharedRun
 from repro.baselines import dijkstra
 from repro.bfs.dist_bfs import distributed_bfs
 from repro.core import SSSPConfig, delta_stepping, distributed_sssp
-from repro.core.twod_engine import distributed_sssp_2d
+from repro.core.twod_engine import _distributed_sssp_2d, distributed_sssp_2d
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.simmpi.machine import small_cluster
+
+REPORT_KEYS = ("engine", "kernel", "num_ranks", "modeled_time",
+               "time_breakdown", "comm", "counters", "work_imbalance", "meta")
 
 
 @pytest.fixture(scope="module")
@@ -34,21 +37,44 @@ class TestDispatch:
         out = api.run(graph, 0, engine=engine, num_ranks=4)
         assert isinstance(out, RunSummary)
         assert out.engine == engine
+        assert out.kernel == "sssp"
         assert out.modeled_time >= 0.0
         assert isinstance(out.comm, dict)
         report = out.report()
-        for key in ("engine", "num_ranks", "modeled_time", "time_breakdown",
-                    "comm", "counters", "work_imbalance", "meta"):
+        for key in REPORT_KEYS:
             assert key in report, key
         assert report["engine"] == engine
-        if engine != "bfs":
-            assert np.array_equal(out.result.dist, oracle.dist)
+        assert report["kernel"] == "sssp"
+        assert np.array_equal(out.result.dist, oracle.dist)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_every_kernel_satisfies_runsummary(self, graph, kernel):
+        source = 0 if kernel in ("sssp", "bfs") else None
+        out = api.run(graph, source, kernel=kernel, num_ranks=4)
+        assert isinstance(out, RunSummary)
+        assert out.engine == "dist1d"
+        assert out.kernel == kernel
+        report = out.report()
+        for key in REPORT_KEYS:
+            assert key in report, key
+        assert report["kernel"] == kernel
+        # The uniform hook: every kernel-typed result oracle-checks itself.
+        assert out.result.validate(graph)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_shared_engine_runs_every_kernel(self, graph, kernel):
+        source = 0 if kernel in ("sssp", "bfs") else None
+        out = api.run(graph, source, kernel=kernel, engine="shared")
+        assert isinstance(out, SharedRun)
+        assert out.kernel == kernel
+        assert out.modeled_time == 0.0
+        assert out.result.validate(graph)
 
     def test_top_level_alias(self, graph):
         assert run is api.run
 
     def test_distributed_engines_charge_time(self, graph):
-        for engine in ("dist1d", "dist2d", "bfs"):
+        for engine in ("dist1d", "dist2d"):
             assert api.run(graph, 0, engine=engine, num_ranks=4).modeled_time > 0.0
         assert api.run(graph, 0, engine="shared").modeled_time == 0.0
 
@@ -56,27 +82,61 @@ class TestDispatch:
         with pytest.raises(ValueError, match="unknown engine 'frob'"):
             api.run(graph, 0, engine="frob")
 
+    def test_unknown_kernel(self, graph):
+        with pytest.raises(ValueError, match="unknown kernel 'frob'"):
+            api.run(graph, 0, kernel="frob")
+
+    def test_source_required_for_traversal_kernels(self, graph):
+        with pytest.raises(ValueError, match="requires a source"):
+            api.run(graph, kernel="sssp")
+        with pytest.raises(ValueError, match="requires a source"):
+            api.run(graph, kernel="bfs")
+
+    def test_source_forbidden_for_whole_graph_kernels(self, graph):
+        for kernel in ("cc", "pagerank", "kcore"):
+            with pytest.raises(ValueError, match="whole-graph"):
+                api.run(graph, 0, kernel=kernel)
+
+    def test_unsupported_kernel_engine_combo(self, graph):
+        with pytest.raises(ValueError, match="no 'dist2d' engine"):
+            api.run(graph, 0, kernel="bfs", engine="dist2d")
+        with pytest.raises(ValueError, match="no 'dist2d' engine"):
+            api.run(graph, kernel="cc", engine="dist2d")
+
     def test_engine_kwargs_routed(self, graph):
         out = api.run(graph, 0, engine="dist2d", num_ranks=4, grid=(2, 2))
         assert out.result.meta["grid"] == "2x2"
-        out = api.run(graph, 0, engine="bfs", num_ranks=4, direction="top_down")
+        out = api.run(graph, 0, kernel="bfs", num_ranks=4, direction="top_down")
         assert out.result.counters["bottom_up_steps"] == 0
+
+    def test_kernel_kwargs_routed(self, graph):
+        out = api.run(graph, kernel="pagerank", num_ranks=4,
+                      damping=0.9, iterations=5)
+        assert out.result.damping == 0.9
+        assert out.result.iterations == 5
+        assert out.result.validate(graph)
 
     def test_engine_kwargs_rejected(self, graph):
         with pytest.raises(TypeError, match="unexpected keyword"):
             api.run(graph, 0, engine="dist1d", grid=(2, 2))
         with pytest.raises(TypeError, match="unexpected keyword"):
-            api.run(graph, 0, engine="bfs", num_ranks=4, fuse_buckets=True)
+            api.run(graph, 0, kernel="bfs", num_ranks=4, fuse_buckets=True)
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            api.run(graph, kernel="cc", num_ranks=4, damping=0.9)
 
     def test_shared_rejects_machine_and_faults(self, graph):
         with pytest.raises(ValueError, match="machine"):
             api.run(graph, 0, engine="shared", machine=small_cluster(4))
         with pytest.raises(ValueError, match="no fabric"):
             api.run(graph, 0, engine="shared", faults="drop=0.1")
+        with pytest.raises(ValueError, match="no fabric"):
+            api.run(graph, kernel="cc", engine="shared", sanitize=True)
 
-    def test_bfs_rejects_config(self, graph):
+    def test_config_rejected_outside_sssp(self, graph):
         with pytest.raises(ValueError, match="no SSSPConfig"):
-            api.run(graph, 0, engine="bfs", num_ranks=4, config=SSSPConfig())
+            api.run(graph, 0, kernel="bfs", num_ranks=4, config=SSSPConfig())
+        with pytest.raises(ValueError, match="no SSSPConfig"):
+            api.run(graph, kernel="pagerank", num_ranks=4, config=SSSPConfig())
 
     def test_shared_run_wrapper(self, graph):
         out = api.run(graph, 0, engine="shared")
@@ -84,6 +144,27 @@ class TestDispatch:
         assert out.num_ranks == 1
         assert out.comm == {}
         assert out.report()["counters"]["epochs"] > 0
+
+
+class TestKernelAnswers:
+    """The distributed kernels agree exactly with their sequential oracles
+    (which is also what ``engine="shared"`` runs)."""
+
+    @pytest.mark.parametrize("kernel", ("cc", "pagerank", "kcore"))
+    def test_dist1d_matches_shared(self, graph, kernel):
+        dist = api.run(graph, kernel=kernel, num_ranks=4)
+        shared = api.run(graph, kernel=kernel, engine="shared")
+        if kernel == "cc":
+            assert np.array_equal(dist.result.labels, shared.result.labels)
+        elif kernel == "pagerank":
+            assert np.array_equal(dist.result.ranks, shared.result.ranks)
+        else:
+            assert np.array_equal(dist.result.coreness, shared.result.coreness)
+
+    def test_bfs_shared_levels_match_dist(self, graph):
+        dist = api.run(graph, 0, kernel="bfs", num_ranks=4)
+        shared = api.run(graph, 0, kernel="bfs", engine="shared")
+        assert np.array_equal(dist.result.level, shared.result.level)
 
 
 class TestConfigHonored:
@@ -123,21 +204,25 @@ class TestConfigHonored:
     def test_dist2d_default_unchanged_by_config_arg(self, graph):
         # config=None must reproduce the historical behavior byte-for-byte.
         plain = api.run(graph, 0, engine="dist2d", num_ranks=4)
-        legacy = distributed_sssp_2d(graph, 0, num_ranks=4)
-        assert np.array_equal(plain.result.dist, legacy.result.dist)
-        assert plain.modeled_time == legacy.modeled_time
-        assert plain.comm == legacy.comm
+        direct = _distributed_sssp_2d(graph, 0, num_ranks=4)
+        assert np.array_equal(plain.result.dist, direct.result.dist)
+        assert plain.modeled_time == direct.modeled_time
+        assert plain.comm == direct.comm
 
 
-class TestLegacyWrappers:
-    def test_wrappers_warn(self, graph):
-        with pytest.deprecated_call(match="delta_stepping"):
+class TestLegacyRetirement:
+    """The four historical entry points are hard stubs now: importable (so
+    old code fails at the call with a pointed message, not at import) but
+    raising RuntimeError that names the ``repro.run`` replacement."""
+
+    def test_stubs_raise_pointing_at_run(self, graph):
+        with pytest.raises(RuntimeError, match=r"delta_stepping\(\) was removed"):
             delta_stepping(graph, 0)
-        with pytest.deprecated_call(match="distributed_sssp"):
+        with pytest.raises(RuntimeError, match=r"repro\.run"):
             distributed_sssp(graph, 0, num_ranks=2)
-        with pytest.deprecated_call(match="distributed_sssp_2d"):
+        with pytest.raises(RuntimeError, match="kernel-registry facade"):
             distributed_sssp_2d(graph, 0, num_ranks=4)
-        with pytest.deprecated_call(match="distributed_bfs"):
+        with pytest.raises(RuntimeError, match='kernel="bfs"'):
             distributed_bfs(graph, 0, num_ranks=2)
 
     def test_facade_does_not_warn(self, graph):
@@ -145,21 +230,31 @@ class TestLegacyWrappers:
             warnings.simplefilter("error", DeprecationWarning)
             for engine in ENGINES:
                 api.run(graph, 0, engine=engine, num_ranks=2)
+            for kernel in ("bfs", "cc", "pagerank", "kcore"):
+                source = 0 if kernel == "bfs" else None
+                api.run(graph, source, kernel=kernel, num_ranks=2)
 
-    def test_wrapper_matches_facade(self, graph):
-        with pytest.deprecated_call():
-            legacy = distributed_sssp(graph, 0, num_ranks=4)
-        new = api.run(graph, 0, engine="dist1d", num_ranks=4)
-        assert np.array_equal(legacy.result.dist, new.result.dist)
-        assert legacy.modeled_time == new.modeled_time
+    def test_engine_bfs_alias_warns_and_works(self, graph):
+        with pytest.deprecated_call(match="engine='bfs'"):
+            out = api.run(graph, 0, engine="bfs", num_ranks=4)
+        assert out.kernel == "bfs"
+        direct = api.run(graph, 0, kernel="bfs", num_ranks=4)
+        assert np.array_equal(out.result.level, direct.result.level)
+        assert out.modeled_time == direct.modeled_time
+
+    def test_engine_bfs_alias_rejects_other_kernels(self, graph):
+        with pytest.raises(ValueError, match="deprecated alias"):
+            api.run(graph, kernel="cc", engine="bfs")
 
 
 class TestDeltaValidation:
     def test_explicit_bad_delta(self, graph):
+        from repro.core.delta_stepping import _delta_stepping
+
         with pytest.raises(ValueError, match="delta must be positive"):
-            delta_stepping(graph, 0, delta=0.0)
+            _delta_stepping(graph, 0, delta=0.0)
         with pytest.raises(ValueError, match="delta must be positive"):
-            delta_stepping(graph, 0, delta=float("nan"))
+            _delta_stepping(graph, 0, delta=float("nan"))
 
     def test_adaptive_bad_delta_caught(self, monkeypatch):
         # A degenerate weight distribution can push choose_delta to a

@@ -8,7 +8,9 @@ code most often breaks silently.
 import numpy as np
 import pytest
 
-from repro.core import SSSPConfig, delta_stepping, distributed_sssp
+from repro.core import SSSPConfig
+from repro.core.delta_stepping import _delta_stepping as delta_stepping
+from repro.core.dist_sssp import _distributed_sssp as distributed_sssp
 from repro.core.buckets import BucketQueue
 from repro.graph.csr import build_csr
 from repro.graph.kronecker import KroneckerSpec, generate_kronecker
