@@ -1,0 +1,110 @@
+"""P4 — multi-core speedup sweep of the parked parallel backends.
+
+Times every engine serially once, then under the parked thread and
+process backends at each worker count (default 1/2/4) on the same graph
+and source, min-of-N.  The deliverable is the speedup *curve* relative
+to serial: fused supersteps plus parked workers plus the zero-copy
+shared-memory transport cut the per-phase dispatch tax, so the parallel
+backends should approach linear speedup until the sweep runs out of
+host cores.  Every entry's answer digest is asserted equal to the
+serial digest before any speedup is reported — the document cannot
+claim a speedup for a wrong answer.
+
+Speedups only mean anything relative to the recorded ``host_cpus``: a
+single-core host cannot show a real >1x, and a committed document from
+one reports that honestly rather than hiding it.
+
+Usage:
+
+    # Full protocol (the committed headline numbers):
+    python benchmarks/bench_p4_multicore.py --scale 16 --ranks 32 \
+        --repeats 5 --out benchmarks/results/BENCH_P4.json
+
+    # CI multi-core perf-smoke: small scale, gate on the committed baseline:
+    python benchmarks/bench_p4_multicore.py --scale 10 --ranks 8 \
+        --repeats 3 --check benchmarks/results/BENCH_P4_smoke.json
+
+``--check`` exits non-zero if any (engine, backend, workers) point's
+wall-clock regresses more than ``--max-regression`` (default 50% —
+parallel timings on shared CI runners are noisy) past the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.perfbench import (
+    DEFAULT_ENGINES,
+    DEFAULT_WORKER_COUNTS,
+    check_regression,
+    dump_json,
+    load_json,
+    run_multicore_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--ranks", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_WORKER_COUNTS),
+        help="worker counts to sweep per parallel backend",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=list(DEFAULT_ENGINES), choices=DEFAULT_ENGINES
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["thread", "process"],
+        choices=("thread", "process"),
+    )
+    parser.add_argument("--out", default=None, help="write the JSON document here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (CI multi-core perf-smoke mode)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.50)
+    args = parser.parse_args(argv)
+
+    doc = run_multicore_bench(
+        args.scale,
+        args.ranks,
+        engines=tuple(args.engines),
+        backends=tuple(args.backends),
+        worker_counts=tuple(args.workers),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"multicore-smoke OK (within {args.max_regression:.0%} of {args.check})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

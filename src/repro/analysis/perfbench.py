@@ -47,16 +47,19 @@ __all__ = [
     "bench_engine",
     "run_bench",
     "run_parallel_bench",
+    "run_multicore_bench",
     "run_kernel_bench",
     "check_regression",
     "DEFAULT_ENGINES",
     "DEFAULT_BACKENDS",
     "DEFAULT_KERNELS",
+    "DEFAULT_WORKER_COUNTS",
 ]
 
 DEFAULT_ENGINES = ("dist1d", "dist2d", "bfs")
 DEFAULT_BACKENDS = ("serial", "thread", "process")
 DEFAULT_KERNELS = ("cc", "pagerank", "kcore")
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
 
 
 def _run_once(
@@ -235,6 +238,70 @@ def run_parallel_bench(
                 doc["speedup"][f"{engine}@{backend}"] = (
                     serial_wall / entry["wall_seconds"]
                 )
+    return doc
+
+
+def run_multicore_bench(
+    scale: int,
+    num_ranks: int,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    backends: tuple[str, ...] = ("thread", "process"),
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    repeats: int = 5,
+    seed: int = 2022,
+) -> dict[str, Any]:
+    """Run the P4 multi-core scaling protocol; returns a JSON-ready document.
+
+    P2 fixes ``workers`` and varies the backend; P4 fixes the backends
+    (the parallel ones) and sweeps the worker count — the speedup *curve*
+    is the deliverable, because a parked-worker backend that dispatches
+    cheaply should approach linear until it runs out of host cores.  One
+    serial run per engine anchors the curve; every parallel entry lands
+    under ``engines["{engine}@{backend}@w{n}"]`` (so ``bench diff`` and
+    :func:`check_regression` gate the document unchanged) with its
+    ``speedup`` = serial wall / entry wall.  Every entry's answer digest
+    must equal the serial digest — the sweep refuses to report a speedup
+    for a wrong answer.  ``host_cpus`` records how many cores the
+    measurement actually had: speedups above it are unattainable, and a
+    committed document from a small host says so honestly.
+    """
+    graph = build_csr(generate_kronecker(scale, seed=seed))
+    source = int(np.argmax(graph.out_degree))
+    doc: dict[str, Any] = {
+        "benchmark": "P4_multicore",
+        "scale": scale,
+        "num_ranks": num_ranks,
+        "seed": seed,
+        "source": source,
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "repeats": repeats,
+        "worker_counts": list(worker_counts),
+        "host_cpus": os.cpu_count(),
+        "engines": {},
+        "speedup": {},
+    }
+    for engine in engines:
+        serial = bench_engine(
+            graph, source, engine, num_ranks, repeats=repeats,
+            executor="serial", trace_memory=False, digest=True,
+        )
+        doc["engines"][f"{engine}@serial"] = serial
+        for backend in backends:
+            for workers in worker_counts:
+                key = f"{engine}@{backend}@w{workers}"
+                entry = bench_engine(
+                    graph, source, engine, num_ranks, repeats=repeats,
+                    executor=backend, workers=workers,
+                    trace_memory=False, digest=True,
+                )
+                if entry["result_sha256"] != serial["result_sha256"]:
+                    raise AssertionError(
+                        f"{key} answer diverged from serial: "
+                        f"{entry['result_sha256']} != {serial['result_sha256']}"
+                    )
+                doc["engines"][key] = entry
+                doc["speedup"][key] = serial["wall_seconds"] / entry["wall_seconds"]
     return doc
 
 

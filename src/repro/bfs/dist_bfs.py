@@ -220,6 +220,32 @@ class _BFSRank:
     def frontier_edge_count(self) -> float:
         return float(self.local_graph.out_degree[self.frontier].sum())
 
+    # -- fused level phases (one team call per exchange side) ---------------
+
+    def _level_tail(self) -> tuple:
+        """Work readout + next level's votes, carried out of a fused call.
+
+        Returns ``(edges, bytes, frontier_size, frontier_edge_count)``;
+        the driver charges the cost model from the first two and caches
+        the last two for the loop-top allreduces — both readouts are
+        pure, so per-level evaluation matches the unfused call order.
+        """
+        edges, nbytes = self.take_step_work()
+        return (
+            float(edges), float(nbytes),
+            float(self.frontier.size), self.frontier_edge_count(),
+        )
+
+    def finish_top_down(self, msg: Message | None, depth: int) -> tuple:
+        """Inbound tail of a top-down level: apply claims, read out work."""
+        self.apply_claims(msg, depth)
+        return self._level_tail()
+
+    def finish_bottom_up(self, global_frontier: np.ndarray, depth: int) -> tuple:
+        """Bottom-up scan plus work readout, as a single team call."""
+        self.bottom_up_level(global_frontier, depth)
+        return self._level_tail()
+
     def export_final(self) -> dict:
         """Final per-rank payload gathered by the driver after the loop."""
         return {
@@ -348,6 +374,11 @@ class _BFSEngine:
         self.unexplored = 0.0
         self.levels_bottom_up = 0
         self.levels_top_down = 0
+        # Per-rank frontier sizes / edge counts carried out of the last
+        # fused finish call; the readouts are pure, so the cached values
+        # equal what fresh loop-top gathers would read.
+        self._vote_cache: np.ndarray | None = None
+        self._edge_cache: np.ndarray | None = None
 
     # -- driver hooks ------------------------------------------------------
 
@@ -371,6 +402,8 @@ class _BFSEngine:
         return ranks
 
     def votes(self, ctx: EngineContext) -> np.ndarray:
+        if self._vote_cache is not None:
+            return self._vote_cache
         return np.array(ctx.team.call("frontier_size"), dtype=np.float64)
 
     def done(self, reduced: float) -> bool:
@@ -381,9 +414,12 @@ class _BFSEngine:
         n = ctx.graph.num_vertices
         self.depth += 1
         depth = self.depth
-        frontier_edge_counts = np.array(
-            team.call("frontier_edge_count"), dtype=np.float64
-        )
+        if self._edge_cache is not None:
+            frontier_edge_counts = self._edge_cache
+        else:
+            frontier_edge_counts = np.array(
+                team.call("frontier_edge_count"), dtype=np.float64
+            )
         total_frontier_edges = fabric.allreduce(frontier_edge_counts, op="sum")
         self.unexplored -= total_frontier_edges
         if self.direction == "auto":
@@ -400,12 +436,17 @@ class _BFSEngine:
             epoch=depth,
             frontier=int(total_frontier),
         ) as sp:
+            # Each level is two fused team calls (outbound, inbound tail)
+            # where the unfused engine paid four-to-five; the inbound tail
+            # also carries next level's votes out, so the loop top costs
+            # no extra gathers.  Fabric calls and values are unchanged.
             if self.bottom_up:
                 self.levels_bottom_up += 1
                 # Allgather the frontier bitmap: every rank contributes
                 # its owned range packed to bits; the collective costs
                 # alpha*log2(P) + n/8 bytes per rank — the trick that
-                # makes bottom-up affordable.
+                # makes bottom-up affordable.  The driver reads payload
+                # bytes between calls, so this call stays non-lazy.
                 contributions = team.call("bitmap_contribution", parallel=True)
                 global_bits = np.zeros(n, dtype=bool)
                 for r, payload in zip(ctx.ranks, contributions):
@@ -418,27 +459,35 @@ class _BFSEngine:
                             payload["bitmap"], count=width
                         ).astype(bool)
                 fabric.allgather(contributions)
-                team.call(
-                    "bottom_up_level", common=(global_bits, depth), parallel=True
+                stats = np.array(
+                    team.call(
+                        "finish_bottom_up", common=(global_bits, depth),
+                        parallel=True,
+                    ),
+                    dtype=np.float64,
                 )
             else:
                 self.levels_top_down += 1
                 outboxes = team.call(
-                    "expand_top_down", common=(depth,), parallel=True
+                    "expand_top_down", common=(depth,), parallel=True, lazy=True
                 )
                 inboxes = fabric.exchange(outboxes)
-                team.call(
-                    "apply_claims",
-                    per_rank=[(m,) for m in inboxes],
-                    common=(depth,),
-                    parallel=True,
+                stats = np.array(
+                    team.call(
+                        "finish_top_down",
+                        per_rank=[(m,) for m in inboxes],
+                        common=(depth,),
+                        parallel=True,
+                    ),
+                    dtype=np.float64,
                 )
-            work = np.array(team.call("take_step_work"), dtype=np.float64)
-            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            fabric.charge_compute(edges=stats[:, 0], bytes=stats[:, 1])
+            self._vote_cache = stats[:, 2].copy()
+            self._edge_cache = stats[:, 3].copy()
             critical_path, sum_of_ranks = team.take_step_timing()
             sp.tag(
-                edges=int(work[:, 0].sum()),
-                bytes=int(work[:, 1].sum()),
+                edges=int(stats[:, 0].sum()),
+                bytes=int(stats[:, 1].sum()),
                 critical_path=critical_path,
                 sum_of_ranks=sum_of_ranks,
             )

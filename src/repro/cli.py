@@ -324,10 +324,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_json,
         run_bench,
         run_kernel_bench,
+        run_multicore_bench,
         run_parallel_bench,
     )
 
-    if args.kernels:
+    if args.multicore:
+        doc = run_multicore_bench(
+            args.scale,
+            args.ranks,
+            engines=tuple(args.engines),
+            backends=tuple(b for b in args.backends if b != "serial"),
+            worker_counts=tuple(args.worker_counts),
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    elif args.kernels:
         doc = run_kernel_bench(
             args.scale,
             args.ranks,
@@ -663,6 +674,22 @@ def build_parser() -> argparse.ArgumentParser:
             "run the P2 parallel-backend protocol instead: time each "
             "engine under every --backends entry and embed speedups"
         ),
+    )
+    p_bench.add_argument(
+        "--multicore",
+        action="store_true",
+        help=(
+            "run the P4 multi-core protocol instead: sweep --worker-counts "
+            "per parallel backend against a serial anchor and embed the "
+            "speedup curve (digests asserted identical to serial)"
+        ),
+    )
+    p_bench.add_argument(
+        "--worker-counts",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4],
+        help="worker counts swept by --multicore",
     )
     p_bench.add_argument(
         "--backends",

@@ -393,6 +393,74 @@ class _Rank:
             out[dst] = msg
         return out
 
+    # -- fused superstep phases (one team call per exchange side) -----------
+    #
+    # Each light superstep used to cost up to five team calls (relax,
+    # pending check, two flushes, two inbox applies); the fused methods
+    # collapse them to one call per fabric exchange.  The announcement
+    # flush stays conditional per rank: the pending flag is True exactly
+    # when this rank queued announcement records (and implies the driver
+    # will run the broadcast round — announcements require delegation),
+    # so flushing only then produces byte-identical outboxes.
+
+    def light_superstep(
+        self, k: int, num_vertices: int, first: bool
+    ) -> tuple[bool, dict[int, Message]]:
+        """Outbound half of a light superstep: drain, relax, flush announcements.
+
+        Returns ``(pending, announcement_outbox)``; ``first`` marks the
+        epoch's first superstep and runs ``start_epoch`` inline.
+        """
+        if first:
+            self.start_epoch()
+        self.relax_bucket(k)
+        pending = self.take_pending_announcements()
+        ann = self.flush_outbox(num_vertices, True) if pending else {}
+        return pending, ann
+
+    def heavy_superstep(self, num_vertices: int) -> tuple[bool, dict[int, Message]]:
+        """Outbound half of the heavy round: emit, flush announcements."""
+        self.emit_heavy()
+        pending = self.take_pending_announcements()
+        ann = self.flush_outbox(num_vertices, True) if pending else {}
+        return pending, ann
+
+    def process_then_flush_updates(
+        self, msg: Message | None, num_vertices: int
+    ) -> dict[int, Message]:
+        """Apply the announcement inbox (None when the broadcast round was
+        skipped), then flush the plain-update outbox for the reduce round."""
+        self.process_inbox(msg)
+        return self.flush_outbox(num_vertices, False)
+
+    def finish_light_superstep(self, msg: Message | None, k: int) -> tuple:
+        """Inbound tail of a light superstep: apply updates, read out work.
+
+        Returns ``(edges, bucket_ops, bytes, bucket_live)``; the driver
+        charges the cost model from the first three and feeds the fourth
+        to the continuation allreduce.
+        """
+        self.process_inbox(msg)
+        edges, bucket_ops, nbytes = self.take_step_work()
+        return (
+            float(edges), float(bucket_ops), float(nbytes),
+            float(self.bucket_live(k)),
+        )
+
+    def finish_epoch(self, msg: Message | None) -> tuple:
+        """Inbound tail of the heavy round: apply updates, read out work.
+
+        Returns ``(edges, bucket_ops, bytes, local_min_bucket)``; the last
+        element is this rank's next termination vote, carried out of the
+        fused call so the loop top needs no extra gather.
+        """
+        self.process_inbox(msg)
+        edges, bucket_ops, nbytes = self.take_step_work()
+        return (
+            float(edges), float(bucket_ops), float(nbytes),
+            self.local_min_bucket(),
+        )
+
     def take_step_work(self) -> tuple[int, int, int]:
         """Return and reset (edges, bucket_ops, bytes) since the last call.
 
@@ -573,6 +641,10 @@ class _DistSSSPEngine:
         self.epochs = 0
         self.light_supersteps = 0
         self.heavy_rounds = 0
+        # Per-rank min-bucket votes carried out of the last fused
+        # finish_epoch call; the readout is pure, so the cached values
+        # equal what a fresh loop-top gather would read.
+        self._vote_cache: np.ndarray | None = None
 
     # -- driver hooks ------------------------------------------------------
 
@@ -603,8 +675,14 @@ class _DistSSSPEngine:
         return ranks
 
     def votes(self, ctx: EngineContext) -> np.ndarray:
-        # Termination allreduce: min over local minimum buckets.
-        kmins = np.array(ctx.team.call("local_min_bucket"))
+        # Termination allreduce: min over local minimum buckets.  After
+        # the first epoch the votes ride out of the fused finish_epoch
+        # call; the first gather (and any run without a step yet) reads
+        # them directly.
+        if self._vote_cache is not None:
+            kmins = self._vote_cache
+        else:
+            kmins = np.array(ctx.team.call("local_min_bucket"))
         return np.where(np.isfinite(kmins), kmins, 1e300)
 
     def done(self, reduced: float) -> bool:
@@ -612,52 +690,76 @@ class _DistSSSPEngine:
 
     # -- step internals ----------------------------------------------------
 
-    def _charge_step(self, ctx: EngineContext) -> tuple[int, int, int]:
-        """Charge compute; return global (edges, bucket_ops, bytes) totals."""
-        work = np.array(ctx.team.call("take_step_work"), dtype=np.float64)
-        ctx.fabric.charge_compute(
-            edges=work[:, 0], bucket_ops=work[:, 1], bytes=work[:, 2]
-        )
-        totals = work.sum(axis=0)
-        return int(totals[0]), int(totals[1]), int(totals[2])
+    def _exchange_halves(
+        self, ctx: EngineContext, sent: list, finish: str, finish_args: tuple
+    ) -> np.ndarray:
+        """The communication tail shared by light and heavy supersteps.
 
-    def _exchange_round(self, ctx: EngineContext, announcements: bool) -> None:
-        """One communication phase: flush, exchange, process on arrival.
-
-        Flush and inbox processing are independent per-rank compute; the
-        exchange between them is the superstep's barrier and stays in the
-        driver, in canonical rank order, whatever the backend.
+        ``sent`` holds each rank's ``(pending, announcement_outbox)`` from
+        the fused outbound call.  Runs the announcement broadcast round
+        when any rank queued one (the skip condition is knowable without
+        extra cost on a real machine: the flag rides on the preceding
+        allreduce), then the plain-update reduce round, then the fused
+        ``finish`` call whose per-rank ``(edges, bucket_ops, bytes, vote)``
+        rows it charges to the cost model and returns.  The fabric call
+        sequence — conditional exchange, exchange, charge — is exactly the
+        unfused engine's.
         """
-        outboxes = ctx.team.call(
-            "flush_outbox",
-            common=(ctx.graph.num_vertices, announcements),
-            parallel=True,
+        team, fabric = ctx.team, ctx.fabric
+        num_vertices = ctx.graph.num_vertices
+        if (
+            self.config.delegate_hubs
+            and self.hubs.size
+            and any(pending for pending, _ in sent)
+        ):
+            inboxes = fabric.exchange([outbox for _, outbox in sent])
+            updates = team.call(
+                "process_then_flush_updates",
+                per_rank=[(m,) for m in inboxes],
+                common=(num_vertices,),
+                parallel=True,
+                lazy=True,
+            )
+        else:
+            updates = team.call(
+                "process_then_flush_updates",
+                per_rank=[(None,)] * ctx.num_ranks,
+                common=(num_vertices,),
+                parallel=True,
+                lazy=True,
+            )
+        inboxes = fabric.exchange(updates)
+        stats = np.array(
+            team.call(
+                finish,
+                per_rank=[(m,) for m in inboxes],
+                common=finish_args,
+                parallel=True,
+            ),
+            dtype=np.float64,
         )
-        inboxes = ctx.fabric.exchange(outboxes)
-        ctx.team.call("process_inbox", per_rank=[(m,) for m in inboxes], parallel=True)
-
-    def _announcement_round_needed(self, ctx: EngineContext) -> bool:
-        """Whether any rank queued a hub announcement this superstep.
-
-        The flag is knowable without extra cost on a real machine: it rides
-        on the preceding allreduce.  Skipping the empty broadcast phase
-        avoids charging a barrier for nothing.
-        """
-        return any(ctx.team.call("take_pending_announcements"))
+        fabric.charge_compute(
+            edges=stats[:, 0], bucket_ops=stats[:, 1], bytes=stats[:, 2]
+        )
+        return stats
 
     def step(self, ctx: EngineContext, reduced: float) -> None:
         team, fabric, tracer = ctx.team, ctx.fabric, ctx.tracer
-        config, metrics = self.config, self.metrics
+        metrics = self.metrics
         k = int(reduced)
         self.epochs += 1
         epochs = self.epochs
-        team.call("start_epoch")
+        num_vertices = ctx.graph.num_vertices
+        first = True
         with tracer.span("epoch", cat="engine", epoch=epochs, bucket=k):
             # ---- light phases.  Each superstep: local drain/relax, then
             # the announcement broadcast phase (delegation only), then the
             # update exchange.  Updates are applied on arrival, so after
             # the exchange the only live state is bucket membership —
-            # which the termination allreduce checks directly.
+            # whose per-rank flag rides out of the fused finish call into
+            # the continuation allreduce.  Each superstep is three fused
+            # team calls (outbound, mid, inbound) where the unfused engine
+            # paid up to seven; fabric calls and values are unchanged.
             while True:
                 frontier_total = (
                     int(sum(team.call("bucket_live_count", common=(k,))))
@@ -672,15 +774,19 @@ class _DistSSSPEngine:
                     bucket=k,
                     frontier=frontier_total,
                 ) as sp:
-                    team.call("relax_bucket", common=(k,), parallel=True)
-                    if (
-                        config.delegate_hubs
-                        and self.hubs.size
-                        and self._announcement_round_needed(ctx)
-                    ):
-                        self._exchange_round(ctx, announcements=True)
-                    self._exchange_round(ctx, announcements=False)
-                    edges, bucket_ops, step_bytes = self._charge_step(ctx)
+                    sent = team.call(
+                        "light_superstep",
+                        common=(k, num_vertices, first),
+                        parallel=True,
+                        lazy=True,
+                    )
+                    first = False
+                    stats = self._exchange_halves(
+                        ctx, sent, "finish_light_superstep", (k,)
+                    )
+                    edges = int(stats[:, 0].sum())
+                    bucket_ops = int(stats[:, 1].sum())
+                    step_bytes = int(stats[:, 2].sum())
                     critical_path, sum_of_ranks = team.take_step_timing()
                     sp.tag(
                         edges=edges,
@@ -693,10 +799,7 @@ class _DistSSSPEngine:
                     metrics.histogram("frontier_size").observe(frontier_total)
                     metrics.histogram("superstep_bytes").observe(step_bytes)
                 self.light_supersteps += 1
-                live = np.array(
-                    team.call("bucket_live", common=(k,)), dtype=np.float64
-                )
-                if not fabric.allreduce_any(live):
+                if not fabric.allreduce_any(stats[:, 3]):
                     break
             # ---- heavy phase: one announcement round (delegation only)
             # plus one update round; heavy results only land in later
@@ -704,15 +807,17 @@ class _DistSSSPEngine:
             with tracer.span(
                 "superstep", cat="engine", phase="heavy", epoch=epochs, bucket=k
             ) as sp:
-                team.call("emit_heavy", parallel=True)
-                if (
-                    config.delegate_hubs
-                    and self.hubs.size
-                    and self._announcement_round_needed(ctx)
-                ):
-                    self._exchange_round(ctx, announcements=True)
-                self._exchange_round(ctx, announcements=False)
-                edges, bucket_ops, step_bytes = self._charge_step(ctx)
+                sent = team.call(
+                    "heavy_superstep",
+                    common=(num_vertices,),
+                    parallel=True,
+                    lazy=True,
+                )
+                stats = self._exchange_halves(ctx, sent, "finish_epoch", ())
+                edges = int(stats[:, 0].sum())
+                bucket_ops = int(stats[:, 1].sum())
+                step_bytes = int(stats[:, 2].sum())
+                self._vote_cache = stats[:, 3].copy()
                 critical_path, sum_of_ranks = team.take_step_timing()
                 sp.tag(
                     edges=edges,

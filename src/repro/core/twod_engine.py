@@ -316,6 +316,27 @@ class _GridRank:
     def frontier_size(self) -> int:
         return int(self.frontier.size)
 
+    # -- fused round phases (one team call per exchange side) ---------------
+
+    def receive_and_relax(self, msg: Message | None) -> dict[int, Message]:
+        """Apply the row-broadcast inbox, then relax the block — the whole
+        middle of a round as one team call.  Returns the column-reduce
+        outbox for the second exchange."""
+        self.receive_frontier(msg)
+        return self.relax_block()
+
+    def finish_round(self, msg: Message | None) -> tuple:
+        """Inbound tail of a round: apply candidates, read out work.
+
+        Returns ``(edges, bytes, frontier_size)``; the driver charges the
+        cost model from the first two and caches the third for the
+        loop-top allreduce — the readout is pure, so per-round evaluation
+        matches the unfused call order.
+        """
+        self.receive_candidates(msg)
+        edges, nbytes = self.take_step_work()
+        return (float(edges), float(nbytes), float(self.frontier.size))
+
     def export_final(self) -> dict:
         """Final per-rank payload gathered by the driver after the loop."""
         return {
@@ -435,6 +456,10 @@ class _TwoDEngine:
         self.part = None
         self.rounds = 0
         self.max_partners = 0
+        # Per-rank frontier sizes carried out of the last fused
+        # finish_round call; the readout is pure, so the cached values
+        # equal what a fresh loop-top gather would read.
+        self._vote_cache: np.ndarray | None = None
 
     # -- driver hooks ------------------------------------------------------
 
@@ -500,6 +525,8 @@ class _TwoDEngine:
         return ranks
 
     def votes(self, ctx: EngineContext) -> np.ndarray:
+        if self._vote_cache is not None:
+            return self._vote_cache
         return np.array(ctx.team.call("frontier_size"), dtype=np.float64)
 
     def done(self, reduced: float) -> bool:
@@ -515,34 +542,41 @@ class _TwoDEngine:
             epoch=self.rounds,
             frontier=int(total_active),
         ) as sp:
+            # Each round is three fused team calls (broadcast, middle,
+            # inbound tail) where the unfused engine paid six; fabric
+            # calls and values are unchanged.
             # Phase 1: row broadcast of owned frontiers.
-            bcast = team.call("broadcast_frontier", parallel=True)
+            bcast = team.call("broadcast_frontier", parallel=True, lazy=True)
             self.max_partners = max(
                 self.max_partners, max((len(o) for o in bcast), default=0)
             )
             inboxes = fabric.exchange(bcast)
-            team.call(
-                "receive_frontier",
+            # Phase 2: apply the broadcast, relax the block, column-reduce
+            # candidates to owners — one fused call per rank.
+            reduce_out = team.call(
+                "receive_and_relax",
                 per_rank=[(m,) for m in inboxes],
                 parallel=True,
+                lazy=True,
             )
-            # Phase 2: block relaxation + column reduce to owners.
-            reduce_out = team.call("relax_block", parallel=True)
             self.max_partners = max(
                 self.max_partners, max((len(o) for o in reduce_out), default=0)
             )
             inboxes = fabric.exchange(reduce_out)
-            team.call(
-                "receive_candidates",
-                per_rank=[(m,) for m in inboxes],
-                parallel=True,
+            stats = np.array(
+                team.call(
+                    "finish_round",
+                    per_rank=[(m,) for m in inboxes],
+                    parallel=True,
+                ),
+                dtype=np.float64,
             )
-            work = np.array(team.call("take_step_work"), dtype=np.float64)
-            fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
+            fabric.charge_compute(edges=stats[:, 0], bytes=stats[:, 1])
+            self._vote_cache = stats[:, 2].copy()
             critical_path, sum_of_ranks = team.take_step_timing()
             sp.tag(
-                edges=int(work[:, 0].sum()),
-                bytes=int(work[:, 1].sum()),
+                edges=int(stats[:, 0].sum()),
+                bytes=int(stats[:, 1].sum()),
                 critical_path=critical_path,
                 sum_of_ranks=sum_of_ranks,
             )

@@ -214,6 +214,35 @@ class _KernelRank:
         """Active-vertex count after apply — the drain loop's quiescence vote."""
         return float(self.kernel.frontier_from(self.state, self.ctx).size)
 
+    # -- fused superstep phases (one team call per exchange side) -----------
+
+    def superstep_send(self, reduced: float, begin: bool) -> dict[int, Message]:
+        """The whole outbound half of one pass, as a single team call.
+
+        begin-step (first pass of a superstep only) → generate → route →
+        flush.  Returns the packed outbox for the fabric exchange.  Fusing
+        the phases costs one dispatch where the unfused driver paid three.
+        """
+        if begin:
+            self.kernel_begin_step(reduced)
+        self.kernel_generate()
+        return self.flush_outbox()
+
+    def superstep_recv(self, msg: Message | None, drain: bool) -> tuple:
+        """The whole inbound half of one pass, as a single team call.
+
+        apply → work readout → (pending when draining) → vote.  Returns
+        ``(edges, bytes, pending, vote)``; the driver charges the cost
+        model from the first two, drives quiescence from the third, and
+        caches the fourth for the loop-top allreduce — the hooks are pure
+        readouts, so per-pass evaluation matches the unfused phase order
+        bit for bit.
+        """
+        self.kernel_apply(msg)
+        edges, nbytes = self.take_step_work()
+        pending = self.kernel_pending() if drain else 0.0
+        return (float(edges), float(nbytes), pending, self.kernel_vote())
+
     # -- routing ------------------------------------------------------------
 
     def _route(self, targets: np.ndarray, values: np.ndarray) -> None:
@@ -355,6 +384,10 @@ class _KernelEngine:
         self.vote_op = kernel.vote_op
         self.partition = partition
         self.steps = 0
+        # Per-rank votes carried out of the last pass's fused recv call;
+        # the hooks are pure, so the cached values equal what a fresh
+        # loop-top gather would read.  None until the first superstep.
+        self._vote_cache: np.ndarray | None = None
 
     def build_ranks(self, graph: CSRGraph, num_ranks: int) -> list[_KernelRank]:
         starts = np.concatenate(
@@ -366,16 +399,12 @@ class _KernelEngine:
         ]
 
     def votes(self, ctx: EngineContext) -> np.ndarray:
+        if self._vote_cache is not None:
+            return self._vote_cache
         return np.array(ctx.team.call("kernel_vote"), dtype=np.float64)
 
     def done(self, reduced: float) -> bool:
         return self.kernel.done(reduced, self.steps)
-
-    def _charge_pass(self, ctx: EngineContext) -> tuple[int, int]:
-        work = np.array(ctx.team.call("take_step_work"), dtype=np.float64)
-        ctx.fabric.charge_compute(edges=work[:, 0], bytes=work[:, 1])
-        totals = work.sum(axis=0)
-        return int(totals[0]), int(totals[1])
 
     def step(self, ctx: EngineContext, reduced: float) -> None:
         team, fabric, tracer = ctx.team, ctx.fabric, ctx.tracer
@@ -383,27 +412,38 @@ class _KernelEngine:
         with tracer.span(
             "superstep", cat="engine", kernel=self.name, step=self.steps
         ) as sp:
-            team.call("kernel_begin_step", common=(reduced,))
             step_edges = 0
             step_bytes = 0
+            begin = True
             # One generate→exchange→apply pass per superstep; draining
             # kernels (k-core) repeat until every rank's frontier is empty,
             # with quiescence detected by an any-allreduce like the 1-D
-            # engine's light-phase loop.
+            # engine's light-phase loop.  Each pass is two fused team calls
+            # (one per exchange side) where the unfused driver paid five;
+            # the fabric call sequence and values are unchanged.
             while True:
-                team.call("kernel_generate", parallel=True)
-                outboxes = team.call("flush_outbox")
-                inboxes = fabric.exchange(outboxes)
-                team.call(
-                    "kernel_apply", per_rank=[(m,) for m in inboxes], parallel=True
+                outboxes = team.call(
+                    "superstep_send", common=(reduced, begin),
+                    parallel=True, lazy=True,
                 )
-                edges, nbytes = self._charge_pass(ctx)
-                step_edges += edges
-                step_bytes += nbytes
+                begin = False
+                inboxes = fabric.exchange(outboxes)
+                stats = np.array(
+                    team.call(
+                        "superstep_recv",
+                        per_rank=[(m,) for m in inboxes],
+                        common=(self.kernel.drain,),
+                        parallel=True,
+                    ),
+                    dtype=np.float64,
+                )
+                fabric.charge_compute(edges=stats[:, 0], bytes=stats[:, 1])
+                step_edges += int(stats[:, 0].sum())
+                step_bytes += int(stats[:, 1].sum())
+                self._vote_cache = stats[:, 3].copy()
                 if not self.kernel.drain:
                     break
-                pending = np.array(team.call("kernel_pending"), dtype=np.float64)
-                if not fabric.allreduce_any(pending):
+                if not fabric.allreduce_any(stats[:, 2]):
                     break
             critical_path, sum_of_ranks = team.take_step_timing()
             sp.tag(

@@ -153,8 +153,14 @@ class WallClock(Rule):
 #: Modules whose primitives bypass the executor's barrier discipline.
 _PARALLEL_MODULES = ("threading", "multiprocessing", "concurrent.futures", "_thread")
 
-#: The one file allowed to touch them: the rank-execution backend itself.
-_EXECUTOR_SUFFIXES = ("repro/simmpi/executor.py", "repro\\simmpi\\executor.py")
+#: The files allowed to touch them: the rank-execution backend layer —
+#: the executor core and the parked-worker thread/process backends.
+_EXECUTOR_SUFFIXES = (
+    "repro/simmpi/executor.py",
+    "repro\\simmpi\\executor.py",
+    "repro/simmpi/parked.py",
+    "repro\\simmpi\\parked.py",
+)
 
 
 @register

@@ -35,10 +35,15 @@ _MANUAL_CLOCKS = {
 }
 
 def _is_sanctioned_path(path: str) -> bool:
-    """The tracer package itself and the executor's bucket instrumentation
-    are where raw clock reads belong — both feed the profiler."""
+    """The tracer package itself and the executor layer's bucket
+    instrumentation (executor.py and the parked-worker backends) are
+    where raw clock reads belong — all of them feed the profiler."""
     norm = path.replace("\\", "/")
-    return norm.endswith("repro/simmpi/executor.py") or "repro/obs/" in norm
+    return (
+        norm.endswith("repro/simmpi/executor.py")
+        or norm.endswith("repro/simmpi/parked.py")
+        or "repro/obs/" in norm
+    )
 
 
 @register

@@ -18,18 +18,24 @@ phase's wall time:
     plus whole control calls (``parallel=False`` team reads) whose work
     is orchestration rather than graph computation.
 ``transport``
-    Moving payloads between address spaces: pipe traffic, arena handoff,
-    result gathering — everything left after the measured buckets.
+    Moving payloads between address spaces: pipe traffic, result
+    gathering, and the measured single-copy payload movement through the
+    process backend's shared-memory arenas (worker encode into, and
+    decode out of, the arenas) — plus everything left after the measured
+    buckets.
 ``serialization``
-    Measured encode/decode seconds for the process backend's
-    shared-memory payload transport (parent and worker side).
+    Measured encode/decode *bookkeeping* seconds for the process
+    transport: the metadata walk, command pickling, and driver-side
+    materialization of replies.  Payload byte movement is deliberately
+    **not** serialization — the zero-copy transport never pickles
+    payloads, so the copy itself is transport.
 
 The decomposition is deliberately *exact*: measured quantities are
 clamped into the remaining budget in a fixed order (serialization, then
-compute, then barrier_wait, then dispatch) and ``transport`` takes the
-non-negative remainder, so ``sum(buckets.values()) == wall`` always
-holds and the attribution table reconciles with total measured wall time
-by construction.
+measured transport, then compute, then barrier_wait, then dispatch) and
+``transport`` additionally takes the non-negative remainder, so
+``sum(buckets.values()) == wall`` always holds and the attribution table
+reconciles with total measured wall time by construction.
 
 Everything here is driver-side arithmetic on a handful of floats per
 phase — nothing touches the per-edge hot path, and the executor only
@@ -57,8 +63,8 @@ BUCKET_HINTS = {
     "compute": "useful rank work; speedup here needs a faster kernel, not a faster executor",
     "barrier_wait": "ranks idling at phase barriers — load imbalance or stragglers; rebalance rank-to-worker placement or split hot buckets",
     "dispatch": "executor control plane (command build/submit, control-plane team reads, driver orchestration); batch or fuse control calls",
-    "transport": "payload movement between address spaces (pipes, arena handoff, result gather); shrink payloads or keep state worker-resident",
-    "serialization": "encoding/decoding payloads for the process transport; avoid re-encoding unchanged arrays",
+    "transport": "payload movement between address spaces (pipes, arena copies, result gather); shrink payloads or keep state worker-resident",
+    "serialization": "encode/decode bookkeeping for the process transport (metadata walk, command pickle); batch tiny payloads or fuse calls",
 }
 
 #: Schema identifier written into every profile report document.
@@ -73,6 +79,7 @@ def split_call_buckets(
     workers: int = 1,
     ser_out: float = 0.0,
     ser_in: float = 0.0,
+    transport_in: float = 0.0,
     parallel: bool = True,
 ) -> dict[str, float]:
     """Split one team call's ``wall`` seconds into the five buckets.
@@ -83,7 +90,9 @@ def split_call_buckets(
     ``durations`` are per-task execution timestamps/durations on a
     shared monotonic clock; ``workers`` is the pool width they could
     overlap on.  ``ser_out``/``ser_in`` are measured encode/decode
-    seconds (zero for in-process backends).
+    bookkeeping seconds; ``transport_in`` is measured payload-copy
+    seconds (arena writes/reads on the worker side).  All three are zero
+    for in-process backends.
 
     Control calls (``parallel=False``) are orchestration by definition:
     their execution and idle time folds into ``dispatch``, while any
@@ -96,6 +105,8 @@ def split_call_buckets(
     wall = max(0.0, float(wall))
     serialization = min(max(0.0, float(ser_out) + float(ser_in)), wall)
     budget = wall - serialization
+    transport_known = min(max(0.0, float(transport_in)), budget)
+    budget -= transport_known
     if durations:
         busy = sum(durations)
         width = max(1, min(int(workers), len(durations)))
@@ -111,7 +122,7 @@ def split_call_buckets(
         compute = 0.0
         barrier_wait = 0.0
     dispatch = min(max(0.0, float(dispatch_window) - float(ser_out)), budget)
-    transport = budget - dispatch
+    transport = transport_known + (budget - dispatch)
     if not parallel:
         # Control plane: the call exists to orchestrate, so its execution
         # window is orchestration cost, not engine compute.

@@ -11,14 +11,19 @@ methods run:
 
 * ``serial`` — in the calling thread, in rank order: today's behavior and
   the default.
-* ``thread`` — on a persistent :class:`~concurrent.futures.ThreadPoolExecutor`.
-  The hot phases are numpy kernels that release the GIL, so real cores
-  overlap them.  Rank objects stay in-process; nothing is copied.
-* ``process`` — on persistent worker processes.  Workers are forked from
-  the parent *after* the rank objects exist, so the initial state transfers
-  by copy-on-write instead of pickling; steady-state arguments and results
-  (``Message`` bundles, numpy arrays) move through
-  ``multiprocessing.shared_memory`` arenas without ever being pickled.
+* ``thread`` — on resident rank threads parked on a shared barrier pair
+  (:mod:`repro.simmpi.parked`).  The hot phases are numpy kernels that
+  release the GIL, so real cores overlap them.  Rank objects stay
+  in-process; nothing is copied, and a phase costs two barrier crossings
+  instead of per-rank pool submissions.
+* ``process`` — on resident worker processes parked on a shared
+  ``multiprocessing`` barrier.  Workers are forked from the parent *after*
+  the rank objects exist, so the initial state transfers by copy-on-write
+  instead of pickling; steady-state arguments and results (``Message``
+  bundles, numpy arrays) move through ``multiprocessing.shared_memory``
+  arenas without ever being pickled, and ``lazy=True`` results stay in the
+  producing worker's arena until the destination rank reads them
+  (zero-copy inter-rank transport).
 
 Determinism guarantee: compute phases may interleave freely because ranks
 share no mutable state (shared inputs — the graph, the owner array — are
@@ -40,20 +45,16 @@ the engines tag onto their superstep spans and RunReport surfaces.
 from __future__ import annotations
 
 import math
-import mmap
 import multiprocessing
 import os
 import time
-import traceback
-from concurrent.futures import ThreadPoolExecutor
-from multiprocessing import shared_memory
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.obs.profile import split_call_buckets
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.simmpi.fabric import Message
+from repro.simmpi.fabric import LazyConcat, Message, ShmMessage
 
 __all__ = [
     "EXECUTOR_BACKENDS",
@@ -123,11 +124,26 @@ def _encode(obj: Any, writer: _PayloadWriter):
         a = np.ascontiguousarray(obj)
         return ("a", writer.reserve(a), a.dtype.str, a.shape)
     if isinstance(obj, Message):
-        # Message fields are contiguous by construction.
+        # Message fields are contiguous by construction; the wire header
+        # (field names + dtypes) is cached on the message, so fan-out and
+        # retransmission re-encodes skip the per-field walk.
+        schema = obj.wire_schema()
+        if len(obj) == 0:
+            # Zero-length fast path: an empty bundle has no payload bytes,
+            # so it needs no arena reservation — just the header.
+            return ("m0", schema)
+        fields = obj.fields
         return (
             "m",
-            [(k, writer.reserve(v), v.dtype.str, v.shape) for k, v in obj.fields.items()],
+            [(k, writer.reserve(fields[k]), dt, fields[k].shape) for k, dt in schema],
         )
+    if isinstance(obj, ShmMessage):
+        # Already parked in a worker-owned arena: ship the handle, not the
+        # bytes.  The destination attaches the arena by name and copies the
+        # fields out exactly once.
+        return ("sm", obj.arena_name, obj.refs)
+    if isinstance(obj, LazyConcat):
+        return ("sc", [_encode(p, writer) for p in obj.pieces])
     if isinstance(obj, tuple):
         return ("t", [_encode(x, writer) for x in obj])
     if isinstance(obj, list):
@@ -149,7 +165,23 @@ def _decode_array(buf, offset: int, dtype_str: str, shape) -> np.ndarray:
     )
 
 
-def _decode(meta, buf) -> Any:
+def _arena_fields(
+    arena_name: str, refs, attach: Callable[[str], Any], copy: bool
+) -> dict[str, np.ndarray]:
+    """Field views (or owned copies) of an ``("sm", ...)`` ref tuple."""
+    buf = attach(arena_name)
+    out: dict[str, np.ndarray] = {}
+    for k, off, dt, n in refs:
+        dtype = np.dtype(dt)
+        if n == 0:
+            out[k] = np.empty(0, dtype=dtype)
+        else:
+            view = np.frombuffer(buf, dtype=dtype, count=n, offset=off)
+            out[k] = view.copy() if copy else view
+    return out
+
+
+def _decode(meta, buf, attach: Callable[[str], Any] | None = None) -> Any:
     tag = meta[0]
     if tag == "a":
         return _decode_array(buf, meta[1], meta[2], meta[3])
@@ -157,12 +189,38 @@ def _decode(meta, buf) -> Any:
         return Message(
             **{k: _decode_array(buf, off, dt, shape) for k, off, dt, shape in meta[1]}
         )
+    if tag == "m0":
+        return Message(**{k: np.empty(0, dtype=np.dtype(dt)) for k, dt in meta[1]})
     if tag == "t":
-        return tuple(_decode(m, buf) for m in meta[1])
+        return tuple(_decode(m, buf, attach) for m in meta[1])
     if tag == "l":
-        return [_decode(m, buf) for m in meta[1]]
+        return [_decode(m, buf, attach) for m in meta[1]]
     if tag == "d":
-        return {k: _decode(m, buf) for k, m in meta[1]}
+        return {k: _decode(m, buf, attach) for k, m in meta[1]}
+    if tag == "sm":
+        if attach is None:
+            raise RuntimeError(
+                "lazy shared-memory message decoded outside the process "
+                "backend (no arena attach function)"
+            )
+        return Message(**_arena_fields(meta[1], meta[2], attach, copy=True))
+    if tag == "sc":
+        if attach is None:
+            raise RuntimeError(
+                "lazy shared-memory message decoded outside the process "
+                "backend (no arena attach function)"
+            )
+        # One copy total per field: pieces decode to arena *views*, and the
+        # concatenate allocates the owned destination array.
+        parts = []
+        for m in meta[1]:
+            if m[0] == "sm":
+                parts.append(_arena_fields(m[1], m[2], attach, copy=False))
+            else:
+                parts.append(_decode(m, buf, attach).fields)
+        return Message(
+            **{k: np.concatenate([p[k] for p in parts]) for k in parts[0]}
+        )
     return meta[1]
 
 
@@ -178,6 +236,14 @@ class RankTeam:
     ``parallel=True`` marks a compute phase: it may run on real cores and
     its per-rank wall durations feed the critical-path accounting;
     ``parallel=False`` is for cheap control reads that stay sequential.
+
+    ``lazy=True`` marks a call whose results are outbox ``Message``
+    bundles that the fabric will route straight into the *next* call
+    (flush-type phases).  Backends with an inter-process transport may
+    then return :class:`~repro.simmpi.fabric.ShmMessage` handles instead
+    of materialized bundles — payload bytes stay in the producing
+    worker's arena until the destination rank reads them.  In-process
+    backends ignore the flag; results are bit-identical either way.
     """
 
     backend = "?"
@@ -235,6 +301,7 @@ class RankTeam:
         ser_out: float = 0.0,
         ser_in: float = 0.0,
         spills: int = 0,
+        transport_in: float = 0.0,
     ) -> None:
         """Emit one ``phase_call`` attribution event (tracer-on only)."""
         wall = t_end - t_begin
@@ -246,6 +313,7 @@ class RankTeam:
             workers=self.num_workers,
             ser_out=ser_out,
             ser_in=ser_in,
+            transport_in=transport_in,
             parallel=parallel,
         )
         self.tracer.event(
@@ -280,12 +348,22 @@ class RankTeam:
         per_rank: Sequence[tuple] | None = None,
         common: tuple = (),
         parallel: bool = False,
+        lazy: bool = False,
     ) -> list:
         raise NotImplementedError
 
     def call_one(self, rank: int, method: str, *args) -> Any:
         """Invoke ``method`` on a single rank (control plane, untimed)."""
         raise NotImplementedError
+
+    def set_transport_lazy(self, enabled: bool) -> None:
+        """Allow or forbid lazy shared-memory results for ``lazy=True`` calls.
+
+        The driver forbids them when a consumer outside the rank methods
+        must read payload bytes between calls (the fabric sanitizer audits
+        every inbound piece).  Backends without an inter-process transport
+        have nothing to switch; the base implementation is a no-op.
+        """
 
     def close(self) -> None:
         """Release the team's workers; the team is unusable afterwards."""
@@ -300,7 +378,7 @@ class SerialTeam(RankTeam):
         super().__init__(len(ranks), tracer)
         self.ranks = list(ranks)
 
-    def call(self, method, per_rank=None, common=(), parallel=False):
+    def call(self, method, per_rank=None, common=(), parallel=False, lazy=False):
         profiling = self.tracer.enabled
         timed = parallel or profiling
         t_begin = time.perf_counter() if profiling else 0.0
@@ -327,374 +405,6 @@ class SerialTeam(RankTeam):
 
     def call_one(self, rank, method, *args):
         return getattr(self.ranks[rank], method)(*args)
-
-
-def _timed_call(rank_obj, method: str, args: tuple):
-    t0 = time.perf_counter()
-    result = getattr(rank_obj, method)(*args)
-    return result, t0, time.perf_counter() - t0
-
-
-class ThreadTeam(RankTeam):
-    """Parallel phases fan out over a shared ThreadPoolExecutor.
-
-    The rank objects live in the driver process; the pool only overlaps
-    their GIL-releasing numpy kernels.  Results are gathered in rank
-    order, so any interleaving of the independent phases is invisible.
-    """
-
-    backend = "thread"
-
-    def __init__(
-        self, ranks: Sequence, pool: ThreadPoolExecutor, num_workers: int,
-        tracer: Tracer | None = None,
-    ) -> None:
-        super().__init__(len(ranks), tracer)
-        self.ranks = list(ranks)
-        self.num_workers = num_workers
-        self._pool = pool
-
-    def call(self, method, per_rank=None, common=(), parallel=False):
-        if not parallel or self.num_ranks == 1:
-            return SerialTeam.call(self, method, per_rank, common, parallel)
-        profiling = self.tracer.enabled
-        t_begin = time.perf_counter() if profiling else 0.0
-        futures = [
-            self._pool.submit(
-                _timed_call,
-                rank,
-                method,
-                (tuple(per_rank[i]) + common) if per_rank is not None else common,
-            )
-            for i, rank in enumerate(self.ranks)
-        ]
-        t_dispatched = time.perf_counter() if profiling else t_begin
-        triples = [f.result() for f in futures]  # rank order; re-raises
-        starts = [t0 for _, t0, _ in triples]
-        durations = [d for _, _, d in triples]
-        self._account(method, durations, starts)
-        if profiling:
-            self._profile_call(
-                method, True, t_begin, t_dispatched, time.perf_counter(),
-                starts, durations,
-            )
-        return [r for r, _, _ in triples]
-
-    def call_one(self, rank, method, *args):
-        return getattr(self.ranks[rank], method)(*args)
-
-
-def _worker_main(conn, ranks: dict, profiled: bool = False) -> None:
-    """Process-backend worker loop: decode, dispatch, encode, reply.
-
-    Runs in a forked child that inherited ``ranks`` (its subset of the
-    team's rank objects) by copy-on-write.  The parent's fabric, tracer
-    and remaining ranks also exist in this address space but are never
-    touched — all interaction is the control pipe plus the shared-memory
-    arenas named in each command.
-
-    ``profiled`` is latched at fork time from the team's tracer: when a
-    real tracer is attached, each reply carries the worker's measured
-    decode/encode seconds and per-task start timestamps (``perf_counter``
-    is CLOCK_MONOTONIC on Linux, so worker and driver timestamps share a
-    clock); when tracing is off only the existing per-task durations are
-    taken, keeping the hot path identical to before.
-    """
-    attached: dict[str, tuple] = {}  # role -> (name, buffer, close)
-
-    def attach(role: str, name: str):
-        cached = attached.get(role)
-        if cached is None or cached[0] != name:
-            if cached is not None:
-                cached[2]()
-            # Map /dev/shm/<name> directly: in Python 3.11 a SharedMemory
-            # *attach* also registers with a resource tracker, and a forked
-            # worker cannot reuse the parent's tracker (not its child), so
-            # it would spawn one of its own that later mistakes the
-            # parent-owned segments for leaks.  A raw mmap has no tracker
-            # side effects; the SharedMemory path is the non-/dev/shm
-            # fallback.
-            path = "/dev/shm/" + name.lstrip("/")
-            try:
-                fd = os.open(path, os.O_RDWR)
-            except OSError:  # pragma: no cover - non-/dev/shm platforms
-                segment = shared_memory.SharedMemory(name=name)
-                attached[role] = (name, segment.buf, segment.close)
-            else:
-                try:
-                    mapped = mmap.mmap(fd, os.fstat(fd).st_size)
-                finally:
-                    os.close(fd)
-                attached[role] = (name, mapped, mapped.close)
-        return attached[role][1]
-
-    try:
-        while True:
-            try:
-                msg = conn.recv()
-            except EOFError:
-                break
-            if msg[0] == "stop":
-                break
-            _, method, common_meta, per_metas, only, cmd_name, rep_name, rep_size = msg
-            cmd_buf = attach("cmd", cmd_name) if cmd_name else b""
-            dec_s = enc_s = 0.0
-            try:
-                td = time.perf_counter() if profiled else 0.0
-                common = tuple(_decode(m, cmd_buf) for m in common_meta)
-                if profiled:
-                    dec_s += time.perf_counter() - td
-                writer = _PayloadWriter()
-                metas = []
-                for rk in only if only is not None else sorted(ranks):
-                    if per_metas is not None:
-                        td = time.perf_counter() if profiled else 0.0
-                        args = tuple(_decode(m, cmd_buf) for m in per_metas[rk])
-                        if profiled:
-                            dec_s += time.perf_counter() - td
-                        args += common
-                    else:
-                        args = common
-                    t0 = time.perf_counter()
-                    result = getattr(ranks[rk], method)(*args)
-                    duration = time.perf_counter() - t0
-                    metas.append((rk, _encode(result, writer), duration, t0))
-            except BaseException:
-                conn.send(("err", method, traceback.format_exc()))
-                continue
-            te = time.perf_counter() if profiled else 0.0
-            if writer.total <= rep_size:
-                writer.write_into(attach("rep", rep_name))
-                if profiled:
-                    enc_s = time.perf_counter() - te
-                conn.send(("res", metas, True, writer.total, dec_s, enc_s))
-            else:
-                # Reply outgrew the arena: spill this one over the pipe and
-                # report the size so the parent grows the arena for next time.
-                payload = bytearray(writer.total)
-                writer.write_into(payload)
-                if profiled:
-                    enc_s = time.perf_counter() - te
-                conn.send(("res", metas, False, writer.total, dec_s, enc_s))
-                conn.send_bytes(bytes(payload))
-    finally:
-        for _, _, close in attached.values():
-            close()
-        conn.close()
-
-
-class ProcessTeam(RankTeam):
-    """Parallel phases run on forked worker processes.
-
-    Rank ``i`` lives in worker ``i % num_workers`` — forked after the
-    engine constructed (and seeded) the rank objects, so the initial state
-    arrives by copy-on-write, never pickled.  Steady-state traffic is
-    pickle-free too: array payloads travel through per-worker shared-memory
-    arenas (parent-owned, grown on demand); only tiny metadata tuples cross
-    the control pipes.  Workers persist for the team's whole run — one fork
-    per run, thousands of supersteps served.
-    """
-
-    backend = "process"
-
-    def __init__(
-        self, ranks: Sequence, num_workers: int, tracer: Tracer | None = None
-    ) -> None:
-        super().__init__(len(ranks), tracer)
-        ctx = multiprocessing.get_context("fork")
-        workers = max(1, min(int(num_workers), len(ranks)))
-        self.num_workers = workers
-        self._rank_ids = [
-            [i for i in range(len(ranks)) if i % workers == w] for w in range(workers)
-        ]
-        self._conns = []
-        self._procs = []
-        self._cmd: list[shared_memory.SharedMemory | None] = []
-        self._rep: list[shared_memory.SharedMemory] = []
-        self._closed = False
-        for w in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    {i: ranks[i] for i in self._rank_ids[w]},
-                    self.tracer.enabled,
-                ),
-                daemon=True,
-                name=f"repro-rank-worker-{w}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
-            self._cmd.append(None)
-            self._rep.append(shared_memory.SharedMemory(create=True, size=_MIN_ARENA))
-
-    @staticmethod
-    def _grown(segment: shared_memory.SharedMemory | None, nbytes: int):
-        """A segment of at least ``nbytes``; reuses or replaces ``segment``.
-
-        POSIX keeps an unlinked segment alive while mapped, so the old one
-        can be unlinked immediately — the worker drops its stale mapping
-        when it sees the new name.
-        """
-        if segment is not None and segment.size >= nbytes:
-            return segment
-        if segment is not None:
-            segment.close()
-            segment.unlink()
-        size = max(_MIN_ARENA, 1 << (nbytes - 1).bit_length())
-        return shared_memory.SharedMemory(create=True, size=size)
-
-    def _dispatch(self, method, per_rank, common, only_rank=None, profiling=False):
-        """Send one command per (involved) worker; payloads via arenas.
-
-        Returns ``(workers, ser_out)``: the workers commanded and the
-        measured parent-side encode + arena-write seconds (0.0 unless
-        ``profiling``).
-        """
-        workers = (
-            range(self.num_workers) if only_rank is None
-            else (only_rank % self.num_workers,)
-        )
-        ser_out = 0.0
-        for w in workers:
-            t0 = time.perf_counter() if profiling else 0.0
-            writer = _PayloadWriter()
-            common_meta = tuple(_encode(a, writer) for a in common)
-            per_metas = None
-            if per_rank is not None:
-                ids = self._rank_ids[w] if only_rank is None else [only_rank]
-                per_metas = {
-                    i: tuple(_encode(a, writer) for a in per_rank[i]) for i in ids
-                }
-            cmd_name = None
-            if writer.total:
-                self._cmd[w] = self._grown(self._cmd[w], writer.total)
-                writer.write_into(self._cmd[w].buf)
-                cmd_name = self._cmd[w].name
-            if profiling:
-                ser_out += time.perf_counter() - t0
-            only = None if only_rank is None else [only_rank]
-            self._conns[w].send(
-                ("call", method, common_meta, per_metas, only,
-                 cmd_name, self._rep[w].name, self._rep[w].size)
-            )
-        return workers, ser_out
-
-    def _gather(self, workers, results, durations, starts=None, profiling=False):
-        """Collect one reply per worker; returns ``(ser_in, spills)``.
-
-        ``ser_in`` sums worker-side decode/encode seconds (carried in each
-        reply) plus the parent-side decode time when ``profiling``;
-        ``spills`` counts replies that overflowed the arena onto the pipe.
-        """
-        failure = None
-        ser_in = 0.0
-        spills = 0
-        for w in workers:
-            msg = self._conns[w].recv()
-            if msg[0] == "err":
-                if failure is None:
-                    failure = (w, msg[1], msg[2])
-                continue
-            _, metas, used_arena, total, worker_dec, worker_enc = msg
-            ser_in += worker_dec + worker_enc
-            if used_arena:
-                buf = self._rep[w].buf
-            else:
-                spills += 1
-                buf = self._conns[w].recv_bytes()
-                self._rep[w] = self._grown(self._rep[w], total)
-            t0 = time.perf_counter() if profiling else 0.0
-            for rk, meta, duration, start in metas:
-                results[rk] = _decode(meta, buf)
-                durations[rk] = duration
-                if starts is not None:
-                    starts[rk] = start
-            if profiling:
-                ser_in += time.perf_counter() - t0
-        if failure is not None:
-            w, method, tb = failure
-            raise WorkerError(
-                f"rank worker {w} failed in {method!r}:\n{tb.rstrip()}"
-            )
-        return ser_in, spills
-
-    def call(self, method, per_rank=None, common=(), parallel=False):
-        if self._closed:
-            raise RuntimeError("team is closed")
-        profiling = self.tracer.enabled
-        t_begin = time.perf_counter() if profiling else 0.0
-        if per_rank is not None:
-            per_rank = {i: tuple(args) for i, args in enumerate(per_rank)}
-        workers, ser_out = self._dispatch(
-            method, per_rank, tuple(common), profiling=profiling
-        )
-        t_dispatched = time.perf_counter() if profiling else t_begin
-        results: list = [None] * self.num_ranks
-        durations = [0.0] * self.num_ranks
-        starts = [0.0] * self.num_ranks if profiling else None
-        ser_in, spills = self._gather(workers, results, durations, starts, profiling)
-        if parallel:
-            self._account(method, durations, starts)
-        if profiling:
-            self._profile_call(
-                method, parallel, t_begin, t_dispatched, time.perf_counter(),
-                starts, durations, ser_out, ser_in, spills,
-            )
-        return results
-
-    def call_one(self, rank, method, *args):
-        if self._closed:
-            raise RuntimeError("team is closed")
-        profiling = self.tracer.enabled
-        t_begin = time.perf_counter() if profiling else 0.0
-        workers, ser_out = self._dispatch(
-            method, {rank: args}, (), only_rank=rank, profiling=profiling
-        )
-        t_dispatched = time.perf_counter() if profiling else t_begin
-        results: list = [None] * self.num_ranks
-        durations = [0.0] * self.num_ranks
-        starts = [0.0] * self.num_ranks if profiling else None
-        ser_in, spills = self._gather(workers, results, durations, starts, profiling)
-        if profiling:
-            self._profile_call(
-                method, False, t_begin, t_dispatched, time.perf_counter(),
-                [starts[rank]], [durations[rank]], ser_out, ser_in, spills,
-            )
-        return results[rank]
-
-    def close(self):
-        if self._closed:
-            return
-        self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - hung-worker backstop
-                proc.terminate()
-                proc.join(timeout=1)
-        for conn in self._conns:
-            conn.close()
-        for segment in (*self._cmd, *self._rep):
-            if segment is not None:
-                try:
-                    segment.close()
-                    segment.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-
-    def __del__(self):  # pragma: no cover - GC backstop for leaked teams
-        try:
-            self.close()
-        except Exception:
-            pass
 
 
 # -- executors --------------------------------------------------------------
@@ -739,7 +449,13 @@ class SerialExecutor(RankExecutor):
 
 
 class ThreadExecutor(RankExecutor):
-    """A persistent thread pool shared by every team this executor builds."""
+    """Resident parked rank threads; each team owns its thread crew.
+
+    Threads are spawned per team (parked on a barrier pair for the team's
+    whole run) rather than pooled across teams — the crew holds direct
+    references to the team's rank objects, so it cannot outlive them.
+    ``_pool`` remains for backwards compatibility and is always ``None``.
+    """
 
     name = "thread"
 
@@ -747,23 +463,19 @@ class ThreadExecutor(RankExecutor):
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool = None
 
     def team(self, ranks, tracer=None):
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-rank"
-            )
-        return ThreadTeam(ranks, self._pool, self.workers, tracer)
+        from repro.simmpi.parked import ParkedThreadTeam
+
+        return ParkedThreadTeam(ranks, self.workers, tracer)
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._pool = None
 
 
 class ProcessExecutor(RankExecutor):
-    """Fork-based worker processes with shared-memory payload transport.
+    """Fork-based parked worker processes with shared-memory transport.
 
     Workers belong to the team (they must be forked after the rank objects
     exist to inherit them copy-on-write), so this executor holds only the
@@ -784,7 +496,9 @@ class ProcessExecutor(RankExecutor):
             raise ValueError(f"workers must be >= 1, got {workers!r}")
 
     def team(self, ranks, tracer=None):
-        return ProcessTeam(ranks, self.workers, tracer)
+        from repro.simmpi.parked import ParkedProcessTeam
+
+        return ParkedProcessTeam(ranks, self.workers, tracer)
 
 
 _FACTORY = {

@@ -23,13 +23,17 @@ from repro.simmpi.sanitizer import FabricSanitizer
 from repro.simmpi.topology import Topology
 from repro.simmpi.trace import CommTrace
 
-__all__ = ["Message", "Fabric"]
+__all__ = ["Fabric", "LazyConcat", "Message", "ShmMessage"]
 
 
 class Message:
     """An immutable bundle of equal-length named numpy arrays."""
 
-    __slots__ = ("fields", "nbytes")
+    __slots__ = ("fields", "nbytes", "_wire")
+
+    #: Real messages hold their arrays; the process backend's lazy handles
+    #: (:class:`ShmMessage`, :class:`LazyConcat`) set this True instead.
+    is_lazy = False
 
     def __init__(self, **fields: np.ndarray) -> None:
         if not fields:
@@ -49,6 +53,7 @@ class Message:
         # Fields never change after construction, so the wire size is fixed;
         # the cost model reads it once per hop and charge.
         self.nbytes = int(nbytes)
+        self._wire = None
 
     def __getitem__(self, key: str) -> np.ndarray:
         return self.fields[key]
@@ -60,9 +65,31 @@ class Message:
     def names(self) -> tuple[str, ...]:
         return tuple(self.fields)
 
+    def wire_schema(self) -> tuple[tuple[str, str], ...]:
+        """Cached ``(name, dtype.str)`` wire header for this bundle.
+
+        Fields never change after construction, so the header is computed
+        once and reused: fault-injected retransmissions and fan-out sends
+        (the same Message object encoded for several destinations) skip the
+        per-field dict walk on every re-encode.
+        """
+        ws = self._wire
+        if ws is None:
+            ws = self._wire = tuple((k, v.dtype.str) for k, v in self.fields.items())
+        return ws
+
     @classmethod
     def concat(cls, messages: Iterable["Message"]) -> "Message | None":
-        """Concatenate compatible messages; ``None`` for an empty iterable."""
+        """Concatenate compatible messages; ``None`` for an empty iterable.
+
+        Zero-length pieces are dropped before concatenating (an empty
+        frontier contributes no wire bytes, so it should cost no copy and
+        no downstream header either); if *every* piece is empty the first
+        is aliased, preserving the schema.  If any surviving piece is a
+        lazy shared-memory handle the result is a :class:`LazyConcat`
+        handle — payload bytes stay in the owning workers' arenas until a
+        destination rank materializes them.
+        """
         msgs = [m for m in messages if m is not None]
         if not msgs:
             return None
@@ -70,15 +97,122 @@ class Message:
         for m in msgs[1:]:
             if m.names != names:
                 raise ValueError(f"incompatible message schemas: {names} vs {m.names}")
+        if len(msgs) > 1:
+            nonempty = [m for m in msgs if len(m)]
+            msgs = nonempty if nonempty else msgs[:1]
         if len(msgs) == 1:
             # Lone message: messages are immutable, so aliasing it is safe
             # and saves one full copy of every field (the common case for
             # sparse exchanges, where most ranks hear from one sender).
             return msgs[0]
+        if any(m.is_lazy for m in msgs):
+            return LazyConcat(msgs)
         return cls(**{k: np.concatenate([m[k] for m in msgs]) for k in names})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Message(n={len(self)}, fields={list(self.fields)})"
+
+
+class ShmMessage:
+    """Lazy handle to a :class:`Message` parked in a shared-memory arena.
+
+    The process backend's zero-copy transport returns these instead of
+    materialized bundles: the payload bytes stay where the owning worker
+    wrote them (its out arena), and only this handle — arena name plus
+    per-field ``(name, offset, dtype, length)`` refs — crosses the control
+    plane.  The destination worker attaches the arena by name and copies
+    the fields out exactly once; nothing is ever pickled.
+
+    The handle is valid until the owning worker's *next-but-one* lazy
+    reply (out arenas are double-buffered), which covers the engines'
+    exchange-then-apply pattern.  ``fields`` materializes driver-side for
+    debugging; steady-state consumers never call it.
+    """
+
+    __slots__ = ("arena_name", "refs", "nbytes", "_buf", "_fields")
+
+    is_lazy = True
+
+    def __init__(self, arena_name: str, refs, buf) -> None:
+        # refs: tuple of (field_name, offset, dtype_str, length)
+        self.arena_name = arena_name
+        self.refs = tuple(refs)
+        self._buf = buf
+        self._fields = None
+        self.nbytes = int(
+            sum(np.dtype(dt).itemsize * n for _, _, dt, n in self.refs)
+        )
+
+    def __len__(self) -> int:
+        return self.refs[0][3]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(r[0] for r in self.refs)
+
+    @property
+    def fields(self) -> dict[str, np.ndarray]:
+        if self._fields is None:
+            out = {}
+            for name, off, dt, n in self.refs:
+                dtype = np.dtype(dt)
+                if n == 0:
+                    out[name] = np.empty(0, dtype=dtype)
+                else:
+                    out[name] = np.frombuffer(
+                        self._buf, dtype=dtype, count=n, offset=off
+                    ).copy()
+            self._fields = out
+        return self._fields
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.fields[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShmMessage(n={len(self)}, arena={self.arena_name!r})"
+
+
+class LazyConcat:
+    """A concatenation of message pieces, at least one of them lazy.
+
+    Produced by :meth:`Message.concat` during a fabric exchange when the
+    inbound pieces are :class:`ShmMessage` handles.  The concatenation is
+    deferred: the destination worker decodes each piece (attaching foreign
+    arenas by name) and concatenates once, instead of the driver copying
+    every payload out of shared memory only to copy it back in.
+    """
+
+    __slots__ = ("pieces", "nbytes", "_length", "_fields")
+
+    is_lazy = True
+
+    def __init__(self, pieces) -> None:
+        self.pieces = tuple(pieces)
+        self.nbytes = int(sum(p.nbytes for p in self.pieces))
+        self._length = sum(len(p) for p in self.pieces)
+        self._fields = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.pieces[0].names
+
+    @property
+    def fields(self) -> dict[str, np.ndarray]:
+        if self._fields is None:
+            self._fields = {
+                k: np.concatenate([p.fields[k] for p in self.pieces])
+                for k in self.names
+            }
+        return self._fields
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.fields[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LazyConcat(n={len(self)}, pieces={len(self.pieces)})"
 
 
 class Fabric:

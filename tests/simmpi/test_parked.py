@@ -1,0 +1,347 @@
+"""Edge-path tests for the parked-worker backends (repro.simmpi.parked).
+
+Covers what the happy-path executor suite does not: arena power-of-two
+growth across the pipe-spill threshold, spill-fallback correctness, the
+zero-copy lazy transport (handles, double-buffering, zero-length fast
+path), shutdown under worker death / barrier timeout / interrupt, and
+the shared-memory lifecycle regression — no ``/dev/shm`` segment may
+survive a worker dying mid-call.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.simmpi import parked
+from repro.simmpi.executor import (
+    _MIN_ARENA,
+    ProcessExecutor,
+    ThreadExecutor,
+    WorkerError,
+)
+from repro.simmpi.fabric import LazyConcat, Message, ShmMessage
+from repro.simmpi.parked import ParkedProcessTeam, ParkedThreadTeam
+
+
+class _Rank:
+    """A stateful rank with payload, lazy-outbox, and failure behaviours."""
+
+    def __init__(self, rank):
+        self.rank = rank
+        self.held = None
+
+    def identity(self):
+        return self.rank
+
+    def echo(self, value):
+        return value
+
+    def make_array(self, nbytes):
+        return np.full(nbytes // 8, float(self.rank), dtype=np.float64)
+
+    def outbox(self, length):
+        """A flush-shaped result: one Message per destination."""
+        return {
+            dst: Message(
+                vertex=np.arange(length, dtype=np.int64) + self.rank,
+                dist=np.full(length, float(self.rank)),
+            )
+            for dst in range(2)
+        }
+
+    def consume(self, msg):
+        """An apply-shaped phase: read the routed message's payload."""
+        return (int(msg["vertex"].sum()), float(msg["dist"].sum()))
+
+    def hold(self, msg):
+        self.held = Message(vertex=msg["vertex"].copy(), dist=msg["dist"].copy())
+        return len(msg)
+
+    def recall(self):
+        return int(self.held["vertex"].sum())
+
+    def die(self):
+        os._exit(13)
+
+    def hang(self):
+        # Long enough to trip a shrunk reply timeout, short enough that
+        # close() can still collect the worker without terminating it.
+        time.sleep(3)
+
+
+def _shm_names():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-/dev/shm platforms
+        return set()
+
+
+def _process_team(num_ranks=2, workers=2):
+    ranks = [_Rank(r) for r in range(num_ranks)]
+    return ParkedProcessTeam(ranks, workers)
+
+
+# -- arena growth and spill fallback ----------------------------------------
+
+
+class TestArenaGrowthAndSpill:
+    def test_reply_growth_is_power_of_two(self):
+        team = _process_team()
+        try:
+            # First oversized reply spills over the pipe, then the rep arena
+            # grows to the next power of two and later replies ride it.
+            nbytes = _MIN_ARENA + 4096
+            for _ in range(2):
+                out = team.call("make_array", common=(nbytes,), parallel=True)
+                for rank, arr in enumerate(out):
+                    assert arr.size == nbytes // 8
+                    assert arr[0] == float(rank)
+            for segment in team._rep:
+                assert segment.size == 2 * _MIN_ARENA  # 1<<21, power of two
+        finally:
+            team.close()
+
+    def test_spill_below_and_above_threshold(self):
+        team = _process_team()
+        try:
+            # Straddle the spill threshold in both directions repeatedly;
+            # every reply must come back intact whichever path it took.
+            for nbytes in (1024, _MIN_ARENA + 64, 512, 3 * _MIN_ARENA, 2048):
+                out = team.call("make_array", common=(nbytes,), parallel=True)
+                for rank, arr in enumerate(out):
+                    assert np.all(arr == float(rank))
+        finally:
+            team.close()
+
+    def test_large_argument_grows_cmd_arena(self):
+        team = _process_team()
+        try:
+            big = np.arange(_MIN_ARENA // 4, dtype=np.float64)  # 2 MiB payload
+            out = team.call("echo", per_rank=[(big,), (big + 1,)], parallel=True)
+            assert np.array_equal(out[0], big)
+            assert np.array_equal(out[1], big + 1)
+        finally:
+            team.close()
+
+
+# -- zero-copy lazy transport ------------------------------------------------
+
+
+class TestLazyTransport:
+    def test_lazy_reply_returns_shm_handles(self):
+        team = _process_team()
+        try:
+            out = team.call("outbox", common=(5,), parallel=True, lazy=True)
+            assert all(isinstance(o, dict) for o in out)
+            handles = [msg for o in out for msg in o.values()]
+            assert handles and all(isinstance(m, ShmMessage) for m in handles)
+            assert all(m.is_lazy for m in handles)
+            # Handles materialize to the same payload the eager path built.
+            eager = team.call("outbox", common=(5,), parallel=True)
+            for lazy_out, eager_out in zip(out, eager):
+                for dst in eager_out:
+                    assert np.array_equal(
+                        lazy_out[dst]["vertex"], eager_out[dst]["vertex"]
+                    )
+                    assert np.array_equal(
+                        lazy_out[dst]["dist"], eager_out[dst]["dist"]
+                    )
+        finally:
+            team.close()
+
+    def test_handles_route_back_into_workers(self):
+        team = _process_team()
+        try:
+            out = team.call("outbox", common=(7,), parallel=True, lazy=True)
+            # Route like the fabric: destination d receives a concat of every
+            # rank's piece for d — a cross-worker arena read on the far side.
+            routed = [
+                Message.concat([o[dst] for o in out]) for dst in range(2)
+            ]
+            assert any(isinstance(m, (ShmMessage, LazyConcat)) for m in routed)
+            got = team.call(
+                "consume", per_rank=[(m,) for m in routed], parallel=True
+            )
+            expect_vertex = [
+                sum(range(r, r + 7)) + sum(range(r + 1, r + 8))
+                for r in (0, 0)
+            ]
+            assert [g[0] for g in got] == expect_vertex
+            assert [g[1] for g in got] == [7.0 * 1.0, 7.0 * 1.0]
+        finally:
+            team.close()
+
+    def test_double_buffer_survives_consecutive_lazy_calls(self):
+        team = _process_team()
+        try:
+            # Handles from call N must stay valid while call N+1 produces
+            # new lazy replies (ping-pong out arenas).
+            first = team.call("outbox", common=(3,), parallel=True, lazy=True)
+            second = team.call("outbox", common=(4,), parallel=True, lazy=True)
+            for o in first:
+                assert all(len(m) == 3 for m in o.values())
+            for o in second:
+                assert all(len(m) == 4 for m in o.values())
+        finally:
+            team.close()
+
+    def test_lazy_spill_grows_out_arena_and_retires_old(self):
+        team = _process_team()
+        try:
+            length = (_MIN_ARENA // 16) + 64  # two fields → > _MIN_ARENA total
+            before = len(team._retired)
+            out = team.call("outbox", common=(length,), parallel=True, lazy=True)
+            for rank, o in enumerate(out):
+                assert np.all(o[0]["dist"] == float(rank))
+            # The spilled reply grew the armed out arena; the replaced
+            # segment went to the graveyard, not /dev/shm limbo.
+            assert len(team._retired) >= before
+            grown = [s for pair in team._out for s in pair if s.size > _MIN_ARENA]
+            assert grown
+        finally:
+            team.close()
+
+    def test_set_transport_lazy_false_materializes(self):
+        team = _process_team()
+        try:
+            team.set_transport_lazy(False)
+            out = team.call("outbox", common=(5,), parallel=True, lazy=True)
+            for o in out:
+                assert all(isinstance(m, Message) for m in o.values())
+        finally:
+            team.close()
+
+    def test_zero_length_message_fast_path(self):
+        empty = Message(vertex=np.empty(0, dtype=np.int64), dist=np.empty(0))
+        team = _process_team()
+        try:
+            out = team.call("echo", common=(empty,), parallel=True, lazy=True)
+            for msg in out:
+                assert isinstance(msg, Message) and len(msg) == 0
+                assert tuple(msg.names) == ("vertex", "dist")
+        finally:
+            team.close()
+
+
+# -- shared-memory lifecycle (satellite regression) --------------------------
+
+
+class TestShmLifecycle:
+    def test_close_is_idempotent(self):
+        team = _process_team()
+        team.close()
+        team.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            team.call("identity")
+
+    def test_worker_death_unlinks_all_segments(self):
+        baseline = _shm_names()
+        team = _process_team()
+        # Force growth so retired segments exist too.
+        team.call("make_array", common=(_MIN_ARENA + 64,), parallel=True)
+        team.call("outbox", common=((_MIN_ARENA // 16) + 64,), parallel=True,
+                  lazy=True)
+        assert _shm_names() - baseline  # the team is holding segments
+        with pytest.raises(WorkerError, match="died"):
+            team.call("die", parallel=True)
+        # The failed call tore the team down: nothing may leak.
+        assert _shm_names() - baseline == set()
+        assert team._closed
+
+    def test_thread_error_keeps_team_usable(self):
+        ranks = [_Rank(r) for r in range(2)]
+        team = ParkedThreadTeam(ranks, 2)
+        try:
+            with pytest.raises(AttributeError):
+                team.call("no_such_method", parallel=True)
+            assert team.call("identity", parallel=True) == [0, 1]
+        finally:
+            team.close()
+
+    def test_executor_close_unlinks_segments(self):
+        baseline = _shm_names()
+        with ProcessExecutor(workers=2) as exec_obj:
+            team = exec_obj.team([_Rank(r) for r in range(2)])
+            assert team.call("identity") == [0, 1]
+            team.close()
+        assert _shm_names() - baseline == set()
+
+
+# -- shutdown under interrupt and timeout ------------------------------------
+
+
+class TestShutdown:
+    def test_dead_parked_worker_fails_fast(self, monkeypatch):
+        monkeypatch.setattr(parked, "_WORKER_TIMEOUT", 5.0)
+        baseline = _shm_names()
+        team = _process_team()
+        # Kill a worker while it is parked: its pipe end closes, so the
+        # next dispatch must fail fast (EOF, not a timeout) and tear down.
+        team._procs[0].kill()
+        team._procs[0].join()
+        t0 = time.perf_counter()
+        with pytest.raises(WorkerError, match="died"):
+            team.call("identity", parallel=True)
+        assert time.perf_counter() - t0 < 4.0  # EOF beat the stall timeout
+        assert team._closed
+        assert _shm_names() - baseline == set()
+
+    def test_stalled_worker_times_out(self, monkeypatch):
+        monkeypatch.setattr(parked, "_WORKER_TIMEOUT", 1.0)
+        baseline = _shm_names()
+        team = _process_team()
+        with pytest.raises(WorkerError, match="stalled"):
+            team.call("hang", parallel=True)
+        assert team._closed
+        assert _shm_names() - baseline == set()
+
+    def test_keyboard_interrupt_in_rank_method_propagates(self):
+        class _Interrupts:
+            def __init__(self, rank):
+                self.rank = rank
+
+            def interrupt(self):
+                raise KeyboardInterrupt
+
+            def identity(self):
+                return self.rank
+
+        team = ParkedThreadTeam([_Interrupts(r) for r in range(2)], 2)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                team.call("interrupt", parallel=True)
+            assert team.call("identity", parallel=True) == [0, 1]
+        finally:
+            team.close()
+
+    def test_process_interrupt_mid_call_then_close_is_clean(self, monkeypatch):
+        monkeypatch.setattr(parked, "_WORKER_TIMEOUT", 5.0)
+        baseline = _shm_names()
+        team = _process_team()
+        # SIGINT the parked worker: it dies (default handler), the call
+        # fails, and close() — already run by the failure path — leaves
+        # nothing behind; a second close stays a no-op.
+        os.kill(team._procs[1].pid, signal.SIGINT)
+        team._procs[1].join()
+        with pytest.raises(WorkerError):
+            team.call("identity", parallel=True)
+        team.close()
+        assert _shm_names() - baseline == set()
+
+    def test_thread_close_releases_parked_workers(self):
+        team = ParkedThreadTeam([_Rank(r) for r in range(3)], 2)
+        assert team.call("identity", parallel=True) == [0, 1, 2]
+        team.close()
+        for thread in team._threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
+    def test_thread_executor_reports_requested_workers(self):
+        with ThreadExecutor(workers=32) as exec_obj:
+            team = exec_obj.team([_Rank(r) for r in range(2)])
+            assert team.num_workers == 32  # requested, like the old backend
+            assert len(team._threads) == 2  # crew clamps to rank count
+            team.close()
