@@ -157,7 +157,7 @@ def _reject_config(kernel: str, config, hint: str) -> None:
 
 
 def _reject_fabric_knobs(
-    kernel: str, *, machine, faults, sanitize, executor, workers
+    kernel: str, *, machine, faults, sanitize, racecheck, executor, workers
 ) -> None:
     """The shared engine has no fabric; every fabric knob is an error."""
     if machine is not None:
@@ -175,6 +175,11 @@ def _reject_fabric_knobs(
             "engine 'shared' has no fabric to sanitize; sanitize=True "
             "requires a distributed engine"
         )
+    if racecheck:
+        raise ValueError(
+            "engine 'shared' has no parallel backend to race-check; "
+            "racecheck=True requires a distributed engine"
+        )
     if executor is not None or workers is not None:
         raise ValueError(
             "engine 'shared' runs in-process with no simulated ranks to "
@@ -187,7 +192,7 @@ def _reject_fabric_knobs(
 
 def _run_sssp_dist1d(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-    executor, workers, **extra
+    racecheck, executor, workers, **extra
 ):
     _reject_extra("sssp", "dist1d", extra)
     return _distributed_sssp(
@@ -199,6 +204,7 @@ def _run_sssp_dist1d(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )
@@ -206,7 +212,7 @@ def _run_sssp_dist1d(
 
 def _run_sssp_dist2d(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-    executor, workers, **extra
+    racecheck, executor, workers, **extra
 ):
     grid = extra.pop("grid", None)
     _reject_extra("sssp", "dist2d", extra)
@@ -220,6 +226,7 @@ def _run_sssp_dist2d(
         config=config,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )
@@ -227,11 +234,11 @@ def _run_sssp_dist2d(
 
 def _run_sssp_shared(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-    executor, workers, **extra
+    racecheck, executor, workers, **extra
 ):
     _reject_fabric_knobs(
         "sssp", machine=machine, faults=faults, sanitize=sanitize,
-        executor=executor, workers=workers,
+        racecheck=racecheck, executor=executor, workers=workers,
     )
     max_phases = extra.pop("max_phases", None)
     _reject_extra("sssp", "shared", extra)
@@ -244,7 +251,7 @@ def _run_sssp_shared(
 
 def _run_bfs_dist1d(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-    executor, workers, **extra
+    racecheck, executor, workers, **extra
 ):
     _reject_config(
         "bfs", config,
@@ -263,6 +270,7 @@ def _run_bfs_dist1d(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
         **extra,
@@ -271,12 +279,12 @@ def _run_bfs_dist1d(
 
 def _run_bfs_shared(
     graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-    executor, workers, **extra
+    racecheck, executor, workers, **extra
 ):
     _reject_config("bfs", config, "pass direction=/alpha=/beta= directly")
     _reject_fabric_knobs(
         "bfs", machine=machine, faults=faults, sanitize=sanitize,
-        executor=executor, workers=workers,
+        racecheck=racecheck, executor=executor, workers=workers,
     )
     allowed = {"direction", "alpha", "beta"}
     bad = set(extra) - allowed
@@ -290,7 +298,7 @@ def _make_vertex_dispatch(name: str):
 
     def _dispatch(
         graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-        executor, workers, **extra
+        racecheck, executor, workers, **extra
     ):
         _reject_config(
             name, config,
@@ -309,6 +317,7 @@ def _make_vertex_dispatch(name: str):
             tracer=tracer,
             faults=faults,
             sanitize=sanitize,
+            racecheck=racecheck,
             executor=executor,
             workers=workers,
         )
@@ -325,12 +334,12 @@ def _make_oracle_dispatch(name: str):
 
     def _dispatch(
         graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
-        executor, workers, **extra
+        racecheck, executor, workers, **extra
     ):
         _reject_config(name, config, "kernel parameters pass directly")
         _reject_fabric_knobs(
             name, machine=machine, faults=faults, sanitize=sanitize,
-            executor=executor, workers=workers,
+            racecheck=racecheck, executor=executor, workers=workers,
         )
         if name == "cc":
             _reject_extra(name, "shared", extra)
@@ -395,6 +404,7 @@ def run(
     faults: FaultPlan | FaultSpec | str | None = None,
     tracer: Tracer | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
     **kernel_kwargs,
@@ -432,6 +442,13 @@ def run(
             livelock); violations raise
             :class:`~repro.simmpi.sanitizer.SanitizerViolation` and the
             audit summary lands in ``result.meta["sanitizer"]``.
+        racecheck: verify the parallel backends' shared-memory contracts
+            at runtime (lazy-handle arena generations on the process
+            backend, shared-array write intervals on the thread backend);
+            violations raise
+            :class:`~repro.simmpi.racecheck.RaceCheckViolation` and the
+            audit summary lands in ``result.meta["racecheck"]``.  Results
+            are bit-identical with the flag on.
         executor: rank-execution backend — ``"serial"`` (default, inline),
             ``"thread"``, ``"process"``, or a prebuilt
             :class:`~repro.simmpi.executor.RankExecutor`.  Results are
@@ -489,6 +506,7 @@ def run(
         faults=faults,
         tracer=tracer,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
         **kernel_kwargs,

@@ -121,6 +121,7 @@ class _BFSRank:
         # repro: index-space: self.parent[local], self.level[local]
         # repro: index-space: self.owner[global], self.owned=global
         # repro: index-space: self.frontier=local, owned=global
+        # repro: shared-ro: self.owner
         self.owner = owner
         self.owned = owned
         self.range_lo = int(owned[0]) if owned.size else 0
@@ -309,6 +310,7 @@ def _distributed_bfs(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> DistBFSRun:
@@ -334,6 +336,7 @@ def _distributed_bfs(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )

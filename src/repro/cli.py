@@ -91,6 +91,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer.add_meta(command="run", baseline=bool(args.baseline))
         if faults is not None:
             tracer.add_meta(faults=faults.describe())
+    racecheck = args.racecheck or bool(args.racecheck_out)
     result = run_graph500_sssp(
         scale=args.scale,
         num_ranks=args.ranks,
@@ -101,6 +102,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=faults,
         engine=args.engine,
         sanitize=args.sanitize,
+        racecheck=racecheck,
         executor=args.executor,
         workers=args.workers,
     )
@@ -118,6 +120,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"sanitizer: {len(result.roots)} root run(s) audited, 0 "
             f"violations (schema matching, conservation, progress)"
         )
+    if racecheck:
+        minted = sum((r.racecheck or {}).get("handles_minted", 0) for r in result.roots)
+        regions = sum((r.racecheck or {}).get("regions_checked", 0) for r in result.roots)
+        print(
+            f"racecheck: {len(result.roots)} root run(s) audited, 0 "
+            f"violations ({minted} lazy handles, {regions} parallel regions)"
+        )
+    if args.racecheck_out:
+        import json
+
+        doc = {
+            "schema": "repro-racecheck-audit/v1",
+            "scale": args.scale,
+            "ranks": args.ranks,
+            "executor": args.executor,
+            "workers": args.workers,
+            "roots": [
+                {"root": r.root, "report": r.racecheck} for r in result.roots
+            ],
+            "violations": 0,
+        }
+        with open(args.racecheck_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"racecheck audit: {args.racecheck_out} (schema {doc['schema']})")
     if tracer is not None:
         tracer.close()
         if args.trace_out:
@@ -179,6 +206,7 @@ def _run_kernel_smoke(args: argparse.Namespace) -> int:
         num_ranks=args.ranks,
         faults=faults,
         sanitize=args.sanitize,
+        racecheck=getattr(args, "racecheck", False),
         executor=args.executor,
         workers=args.workers,
     )
@@ -246,6 +274,7 @@ def _run_bfs_table(args: argparse.Namespace) -> int:
                 direction=direction,
                 faults=faults,
                 sanitize=args.sanitize,
+                racecheck=getattr(args, "racecheck", False),
                 executor=exec_obj,
             )
             ok &= validate_bfs(graph, run.result).ok
@@ -443,6 +472,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         tracer=tracer,
         faults=faults,
         sanitize=args.sanitize,
+        racecheck=args.racecheck,
         executor=args.executor,
         workers=args.workers,
     )
@@ -488,6 +518,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintError,
         all_rules,
+        changed_paths,
+        file_digests,
         get_rules,
         lint_paths,
         render_json,
@@ -512,12 +544,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [os.path.dirname(os.path.abspath(repro.__file__))]
     try:
-        findings, checked = lint_paths(paths, rules=rules)
+        if args.changed is not None:
+            lint_targets = changed_paths(paths, args.changed)
+        else:
+            lint_targets = paths
+        findings, checked = lint_paths(lint_targets, rules=rules)
+        if args.format == "json":
+            # Digest what was actually scanned, so a full run's report is
+            # a complete --changed baseline for the next run.
+            text = render_json(findings, checked, file_digests(lint_targets))
+        else:
+            text = render_text(findings, checked)
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
-    text = render(findings, checked)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -592,6 +632,24 @@ def build_parser() -> argparse.ArgumentParser:
             "message conservation, no-progress detection); violations abort"
         ),
     )
+    p_run.add_argument(
+        "--racecheck",
+        action="store_true",
+        help=(
+            "verify the parallel backends' shared-memory contracts at "
+            "runtime (lazy-handle arena generations, shared-array write "
+            "intervals); violations abort, results are bit-identical"
+        ),
+    )
+    p_run.add_argument(
+        "--racecheck-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the per-root racecheck audit as a "
+            "repro-racecheck-audit/v1 JSON document (implies --racecheck)"
+        ),
+    )
     _add_executor(p_run)
     p_run.add_argument(
         "--trace-out", default=None, help="write the telemetry stream as JSONL"
@@ -625,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="audit every fabric collective at runtime (see 'run --sanitize')",
+    )
+    p_bfs.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="verify parallel-backend shared-memory contracts (see 'run --racecheck')",
     )
     _add_executor(p_bfs)
     p_bfs.set_defaults(func=_cmd_bfs_alias)
@@ -753,6 +816,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit every fabric collective while profiling",
     )
+    p_prof.add_argument(
+        "--racecheck",
+        action="store_true",
+        help="verify parallel-backend shared-memory contracts while profiling",
+    )
     _add_executor(p_prof)
     p_prof.add_argument(
         "--out",
@@ -783,10 +851,23 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         metavar="RULE|PACK",
-        help="restrict to these rule ids or pack ids (index, det, dtype)",
+        help=(
+            "restrict to these rule ids or pack ids "
+            "(index, det, dtype, obs, shm)"
+        ),
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p_lint.add_argument(
+        "--changed",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "lint only files that differ from BASELINE: a JSON report "
+            "written by 'repro lint --format json' (content digests) or "
+            "a git ref (diff + untracked)"
+        ),
     )
     p_lint.add_argument("--out", default=None, help="write the report here")
     p_lint.set_defaults(func=_cmd_lint)

@@ -99,6 +99,7 @@ class _Rank:
         # repro: index-space: self.owner[global], self.owned[local]=global
         # repro: index-space: self.dist[local], self.in_epoch[local]
         # repro: index-space: self.is_hub_local[local], owned=global
+        # repro: shared-ro: self.owner
         self.owner = owner  # shared dense owner array (read-only use)
         self.owned = owned
         self.lmap = LocalIndexMap(owned)
@@ -901,6 +902,7 @@ def _distributed_sssp(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> DistSSSPRun:
@@ -954,6 +956,7 @@ def _distributed_sssp(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )

@@ -139,6 +139,7 @@ class _GridRank:
         adj_cols: np.ndarray | None = None,
     ) -> None:
         self.rank = rank
+        # repro: shared-ro: self._owner
         self._owner = owner
         self.coalesce = coalesce
         self.vertex_dtype = vertex_dtype
@@ -385,6 +386,7 @@ def _distributed_sssp_2d(
     config: SSSPConfig | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> TwoDRun:
@@ -422,6 +424,7 @@ def _distributed_sssp_2d(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )

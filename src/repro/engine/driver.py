@@ -108,6 +108,7 @@ def run_superstep_engine(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> Any:
@@ -137,7 +138,7 @@ def run_superstep_engine(
     # fork inherits the seeded state; from here on every rank interaction
     # goes through the team — the parent's rank objects may be stale copies.
     exec_obj, owns_executor = resolve_executor(executor, workers)
-    team = exec_obj.team(ranks, tracer=tracer)
+    team = exec_obj.team(ranks, tracer=tracer, racecheck=racecheck)
     if fabric.sanitizer is not None:
         # The sanitizer audits every inbound piece's payload bytes between
         # calls, so lazy shared-memory results must materialize eagerly.
@@ -170,7 +171,16 @@ def run_superstep_engine(
         team.close()
         if owns_executor:
             exec_obj.close()
-    return engine.finalize(ctx, exports)
+    run = engine.finalize(ctx, exports)
+    if team.racecheck is not None:
+        # Next to the sanitizer report (the kernel-typed result's meta):
+        # violations raise during the run, so a report landing here
+        # certifies zero of them.
+        inner = getattr(run, "result", run)
+        meta = getattr(inner, "meta", None)
+        if meta is not None:
+            meta["racecheck"] = team.racecheck.report()
+    return run
 
 
 def attach_fabric_outcome(result, fabric: Fabric) -> None:

@@ -154,6 +154,7 @@ class _KernelRank:
         self.rank = rank
         self.num_ranks = num_ranks
         # repro: index-space: self.starts[rank]=global, owned=global
+        # repro: shared-ro: self.starts
         self.starts = starts  # contiguous range boundaries, len P+1
         lo, hi = int(starts[rank]), int(starts[rank + 1])
         owned = np.arange(lo, hi, dtype=np.int64)
@@ -492,6 +493,7 @@ def run_kernel(
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultSpec | str | None = None,
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> KernelRun:
@@ -523,6 +525,7 @@ def run_kernel(
         tracer=tracer,
         faults=faults,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )

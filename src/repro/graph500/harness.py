@@ -47,6 +47,9 @@ class RootRun:
     time_breakdown: dict[str, float]
     trace: dict[str, float | int]
     work_imbalance: float
+    #: The run's ``meta["racecheck"]`` audit summary when the harness ran
+    #: with ``racecheck=True``; ``None`` otherwise.
+    racecheck: dict | None = None
 
 
 @dataclass
@@ -107,6 +110,7 @@ def run_sssp_on_graph(
     faults: object = None,
     engine: str = "dist1d",
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> list[RootRun]:
@@ -138,6 +142,7 @@ def run_sssp_on_graph(
                     faults=faults,
                     tracer=tracer,
                     sanitize=sanitize,
+                    racecheck=racecheck,
                     executor=exec_obj,
                 )
                 traversed = run.result.traversed_edges(graph)
@@ -158,6 +163,7 @@ def run_sssp_on_graph(
                     time_breakdown=run.time_breakdown,
                     trace=run.comm,
                     work_imbalance=getattr(run, "work_imbalance", 1.0),
+                    racecheck=run.result.meta.get("racecheck"),
                 )
             )
     finally:
@@ -179,6 +185,7 @@ def run_graph500_sssp(
     faults: object = None,
     engine: str = "dist1d",
     sanitize: bool = False,
+    racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
 ) -> BenchmarkResult:
@@ -235,6 +242,7 @@ def run_graph500_sssp(
         faults=faults,
         engine=engine,
         sanitize=sanitize,
+        racecheck=racecheck,
         executor=executor,
         workers=workers,
     )

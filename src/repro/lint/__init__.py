@@ -22,7 +22,13 @@ enforces them mechanically with an AST-based rule engine:
 * **obs pack** — hand-rolled timing (direct ``time.perf_counter`` /
   ``time.monotonic`` reads) outside ``repro.obs`` and the executor's
   bucket instrumentation, which the phase-attribution profiler cannot
-  see.
+  see;
+* **shm pack** — the zero-copy transport's ownership contracts:
+  ``np.frombuffer`` arena views escaping the producing call, lazy
+  ``call(..., lazy=True)`` handles read after a later call recycled
+  their out-arena, writes to ``# repro: shared-ro:`` arrays or module
+  globals from parallel rank tasks, and ``Kernel`` hooks touching state
+  outside their phase.
 
 Findings can be suppressed per line or per file with
 ``# repro-lint: disable=<rule>[,<rule>...]`` comments.  The CLI entry
@@ -32,7 +38,13 @@ point is ``python -m repro lint [paths...]``.
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, all_rules, get_rules, rule_packs
 from repro.lint.report import render_json, render_text
-from repro.lint.runner import LintError, lint_paths, lint_source
+from repro.lint.runner import (
+    LintError,
+    changed_paths,
+    file_digests,
+    lint_paths,
+    lint_source,
+)
 
 # Importing the packs registers their rules.
 from repro.lint import (  # noqa: F401  (registration)
@@ -40,6 +52,7 @@ from repro.lint import (  # noqa: F401  (registration)
     rules_dtype,
     rules_index,
     rules_obs,
+    rules_shm,
 )
 
 __all__ = [
@@ -47,6 +60,8 @@ __all__ = [
     "LintError",
     "Rule",
     "all_rules",
+    "changed_paths",
+    "file_digests",
     "get_rules",
     "lint_paths",
     "lint_source",

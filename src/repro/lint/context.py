@@ -25,6 +25,11 @@ The analyzer's codebase-specific knowledge travels in two comment grammars:
 * ``# repro: wire-path`` — mark the enclosing function as one whose
   byte-for-byte output order defines wire content; the determinism pack
   requires stable sorts there.
+
+* ``# repro: shared-ro: <name>[, <name>...]`` — declare that the named
+  arrays are shared *by identity* across rank objects and must stay
+  read-only inside rank task methods (the ``shm`` pack flags writes).
+  ``self.x`` entries attach to the enclosing class, like index-space.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ LOCAL = "local"
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([\w,\-\s]+)")
 _ANNOTATION_RE = re.compile(r"#\s*repro:\s*index-space:\s*(.+)$")
 _WIRE_PATH_RE = re.compile(r"#\s*repro:\s*wire-path\b")
+_SHARED_RO_RE = re.compile(r"#\s*repro:\s*shared-ro:\s*(.+)$")
 _ENTRY_RE = re.compile(
     r"^(?P<name>[A-Za-z_][\w.]*)"
     r"(?:\[(?P<domain>global|local)\])?"
@@ -116,6 +122,7 @@ class _Scope:
     parent: int | None
     value_space: dict[str, str] = field(default_factory=dict)
     index_domain: dict[str, str] = field(default_factory=dict)
+    shared_ro: set[str] = field(default_factory=set)
     wire_path: bool = False
 
 
@@ -186,6 +193,19 @@ class Annotations:
                 if scopes.scopes[idx].kind == "function":
                     scopes.scopes[idx].wire_path = True
                 continue
+            sm = _SHARED_RO_RE.search(text)
+            if sm:
+                for raw in sm.group(1).split(","):
+                    name = raw.strip()
+                    if not name:
+                        continue
+                    # Same attachment rule as index-space entries.
+                    if name.startswith("self."):
+                        idx = scopes.innermost(line, kinds=("module", "class"))
+                    else:
+                        idx = scopes.innermost(line)
+                    scopes.scopes[idx].shared_ro.add(name)
+                continue
             m = _ANNOTATION_RE.search(text)
             if not m:
                 continue
@@ -224,6 +244,15 @@ class Annotations:
 
     def is_wire_path(self, scope_idx: int) -> bool:
         return self.scopes.scopes[scope_idx].wire_path
+
+    def is_shared_ro(self, name: str, scope_idx: int) -> bool:
+        return any(
+            name in scope.shared_ro for scope in self.scopes.chain(scope_idx)
+        )
+
+    def has_shared_ro(self, scope_idx: int) -> bool:
+        """Does any enclosing scope declare shared read-only arrays?"""
+        return any(scope.shared_ro for scope in self.scopes.chain(scope_idx))
 
 
 @dataclass

@@ -248,6 +248,10 @@ class RankTeam:
 
     backend = "?"
     num_workers = 1
+    #: The team's :class:`~repro.simmpi.racecheck.RaceChecker` when the
+    #: run was started with ``racecheck=True``; ``None`` otherwise.  The
+    #: driver reads it to attach the audit report to the run's meta.
+    racecheck = None
 
     def __init__(self, num_ranks: int, tracer: Tracer | None) -> None:
         self.num_ranks = num_ranks
@@ -420,7 +424,12 @@ class RankExecutor:
 
     name = "?"
 
-    def team(self, ranks: Sequence, tracer: Tracer | None = None) -> RankTeam:
+    def team(
+        self,
+        ranks: Sequence,
+        tracer: Tracer | None = None,
+        racecheck: bool = False,
+    ) -> RankTeam:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -444,8 +453,15 @@ class SerialExecutor(RankExecutor):
         # there is.
         self.workers = 1
 
-    def team(self, ranks, tracer=None):
-        return SerialTeam(ranks, tracer)
+    def team(self, ranks, tracer=None, racecheck=False):
+        team = SerialTeam(ranks, tracer)
+        if racecheck:
+            # No concurrency to check, but attach a checker anyway so
+            # racecheck runs report uniformly across backends.
+            from repro.simmpi.racecheck import RaceChecker
+
+            team.racecheck = RaceChecker(team.backend, team.tracer)
+        return team
 
 
 class ThreadExecutor(RankExecutor):
@@ -465,10 +481,10 @@ class ThreadExecutor(RankExecutor):
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         self._pool = None
 
-    def team(self, ranks, tracer=None):
+    def team(self, ranks, tracer=None, racecheck=False):
         from repro.simmpi.parked import ParkedThreadTeam
 
-        return ParkedThreadTeam(ranks, self.workers, tracer)
+        return ParkedThreadTeam(ranks, self.workers, tracer, racecheck=racecheck)
 
     def close(self):
         self._pool = None
@@ -495,10 +511,10 @@ class ProcessExecutor(RankExecutor):
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
 
-    def team(self, ranks, tracer=None):
+    def team(self, ranks, tracer=None, racecheck=False):
         from repro.simmpi.parked import ParkedProcessTeam
 
-        return ParkedProcessTeam(ranks, self.workers, tracer)
+        return ParkedProcessTeam(ranks, self.workers, tracer, racecheck=racecheck)
 
 
 _FACTORY = {

@@ -19,6 +19,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simmpi.clock import SimClock
 from repro.simmpi.faults import FaultPlan, FaultSpec, UndeliverableMessageError
 from repro.simmpi.machine import MachineSpec
+from repro.simmpi.racecheck import ArenaClosedError
 from repro.simmpi.sanitizer import FabricSanitizer
 from repro.simmpi.topology import Topology
 from repro.simmpi.trace import CommTrace
@@ -127,9 +128,18 @@ class ShmMessage:
     reply (out arenas are double-buffered), which covers the engines'
     exchange-then-apply pattern.  ``fields`` materializes driver-side for
     debugging; steady-state consumers never call it.
+
+    A team-minted handle carries its mint generation (``_team_ref``,
+    ``_worker``, ``_gen``): closing the team detaches the handle from its
+    arena, so a late ``fields`` raises :class:`ArenaClosedError` instead
+    of reading an unlinked mapping, and under ``racecheck=True`` the team
+    verifies the arena generation on every materialization.
     """
 
-    __slots__ = ("arena_name", "refs", "nbytes", "_buf", "_fields")
+    __slots__ = (
+        "arena_name", "refs", "nbytes", "_buf", "_fields",
+        "_team_ref", "_worker", "_gen", "__weakref__",
+    )
 
     is_lazy = True
 
@@ -139,6 +149,9 @@ class ShmMessage:
         self.refs = tuple(refs)
         self._buf = buf
         self._fields = None
+        self._team_ref = None
+        self._worker = 0
+        self._gen = 0
         self.nbytes = int(
             sum(np.dtype(dt).itemsize * n for _, _, dt, n in self.refs)
         )
@@ -150,9 +163,28 @@ class ShmMessage:
     def names(self) -> tuple[str, ...]:
         return tuple(r[0] for r in self.refs)
 
+    def check_live(self) -> None:
+        """Raise unless this handle's arena bytes are still readable.
+
+        Detachment (team closed) is always checked; generation staleness
+        only when the owning team runs with ``racecheck=True``.
+        """
+        if self._fields is not None:
+            return  # already materialized into owned arrays
+        if self._buf is None:
+            raise ArenaClosedError(
+                f"lazy message handle (arena {self.arena_name!r}) used "
+                f"after the owning team closed and released its arenas; "
+                f"materialize .fields before close()"
+            )
+        team = self._team_ref() if self._team_ref is not None else None
+        if team is not None:
+            team._check_handle(self)
+
     @property
     def fields(self) -> dict[str, np.ndarray]:
         if self._fields is None:
+            self.check_live()
             out = {}
             for name, off, dt, n in self.refs:
                 dtype = np.dtype(dt)

@@ -66,6 +66,7 @@ import struct
 import threading
 import time
 import traceback
+import weakref
 from multiprocessing import shared_memory
 from typing import Sequence
 
@@ -80,7 +81,8 @@ from repro.simmpi.executor import (
     _encode,
     _PayloadWriter,
 )
-from repro.simmpi.fabric import ShmMessage
+from repro.simmpi.fabric import LazyConcat, ShmMessage
+from repro.simmpi.racecheck import RaceChecker, SharedArrayTracker
 
 __all__ = ["ParkedProcessTeam", "ParkedThreadTeam"]
 
@@ -123,12 +125,23 @@ class ParkedThreadTeam(RankTeam):
     backend = "thread"
 
     def __init__(
-        self, ranks: Sequence, num_workers: int, tracer: Tracer | None = None
+        self,
+        ranks: Sequence,
+        num_workers: int,
+        tracer: Tracer | None = None,
+        racecheck: bool = False,
     ) -> None:
         super().__init__(len(ranks), tracer)
         self.ranks = list(ranks)
         self.num_workers = max(1, int(num_workers))
         self._closed = False
+        self._tracker = None
+        if racecheck:
+            # Lockset-lite race detection: arrays shared by identity across
+            # rank objects are the read-only inputs of every parallel phase;
+            # the tracker checksums them around each phase.
+            self.racecheck = RaceChecker(self.backend, self.tracer)
+            self._tracker = SharedArrayTracker(self.racecheck, ranks)
         crew = min(self.num_workers, max(1, len(self.ranks)))
         self._assign = [
             [i for i in range(len(self.ranks)) if i % crew == t] for t in range(crew)
@@ -186,12 +199,17 @@ class ParkedThreadTeam(RankTeam):
         self._starts = [0.0] * n
         self._durations = [0.0] * n
         self._cmd = (method, per_rank, tuple(common))
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.before_parallel()
         self._go.wait()
         t_dispatched = time.perf_counter() if profiling else t_begin
         self._done.wait()
         for exc in self._errors:
             if exc is not None:
                 raise exc
+        if tracker is not None:
+            tracker.after_parallel(method)
         starts, durations = self._starts, self._durations
         self._account(method, durations, starts)
         if profiling:
@@ -345,24 +363,29 @@ def _parked_worker_main(conn, slot, go, ranks: dict, profiled: bool) -> None:
         conn.close()
 
 
-def _lazy_decode(meta, arena_name: str, buf):
+def _lazy_decode(meta, arena_name: str, buf, register=None):
     """Parent-side decode of an out-arena reply: Messages stay parked.
 
     ``Message`` metas become :class:`ShmMessage` handles referencing the
     worker's out arena; containers recurse; everything else (plain
     arrays, empty bundles, scalars) materializes — only bulk message
-    payloads are worth keeping lazy.
+    payloads are worth keeping lazy.  ``register`` is called with every
+    minted handle so the team can stamp its arena generation and track
+    it for close-time invalidation.
     """
     tag = meta[0]
     if tag == "m":
         refs = tuple((k, off, dt, shape[0]) for k, off, dt, shape in meta[1])
-        return ShmMessage(arena_name, refs, buf)
+        handle = ShmMessage(arena_name, refs, buf)
+        if register is not None:
+            register(handle)
+        return handle
     if tag == "t":
-        return tuple(_lazy_decode(m, arena_name, buf) for m in meta[1])
+        return tuple(_lazy_decode(m, arena_name, buf, register) for m in meta[1])
     if tag == "l":
-        return [_lazy_decode(m, arena_name, buf) for m in meta[1]]
+        return [_lazy_decode(m, arena_name, buf, register) for m in meta[1]]
     if tag == "d":
-        return {k: _lazy_decode(m, arena_name, buf) for k, m in meta[1]}
+        return {k: _lazy_decode(m, arena_name, buf, register) for k, m in meta[1]}
     return _decode(meta, buf)
 
 
@@ -391,9 +414,22 @@ class ParkedProcessTeam(RankTeam):
     backend = "process"
 
     def __init__(
-        self, ranks: Sequence, num_workers: int, tracer: Tracer | None = None
+        self,
+        ranks: Sequence,
+        num_workers: int,
+        tracer: Tracer | None = None,
+        racecheck: bool = False,
     ) -> None:
         super().__init__(len(ranks), tracer)
+        if racecheck:
+            # Generation checks on lazy handles; the thread backend's
+            # shared-array tracker has no process-side analogue (writes
+            # happen in forked address spaces the parent cannot see).
+            self.racecheck = RaceChecker(self.backend, self.tracer)
+        #: Weakrefs to every ShmMessage this team minted; ``close()``
+        #: detaches the live ones from their arenas (always on — this is
+        #: the use-after-close guard, independent of ``racecheck``).
+        self._minted: list[weakref.ref] = []
         ctx = multiprocessing.get_context("fork")
         workers = max(1, min(int(num_workers), len(ranks)))
         self.num_workers = workers
@@ -445,6 +481,66 @@ class ParkedProcessTeam(RankTeam):
 
     def set_transport_lazy(self, enabled: bool) -> None:
         self._lazy_ok = bool(enabled)
+
+    # -- lazy-handle lifetime & generation guards ---------------------------
+
+    def _register_handle(self, handle: ShmMessage, worker: int, gen: int) -> None:
+        """Stamp a freshly minted handle with its mint generation.
+
+        ``gen`` is the owning worker's out-arena flip counter *after* the
+        minting dispatch; the handle's double-buffered arena half is
+        re-armed for writing by the second lazy dispatch after the mint,
+        so the handle is stale once ``_out_flip[worker] >= gen + 2``.
+        """
+        handle._team_ref = weakref.ref(self)
+        handle._worker = worker
+        handle._gen = gen
+        self._minted.append(weakref.ref(handle))
+        if self.racecheck is not None:
+            self.racecheck.handles_minted += 1
+
+    def _check_handle(self, handle: ShmMessage) -> None:
+        """Generation check for one team-minted handle (``racecheck=True``)."""
+        checker = self.racecheck
+        if checker is None:
+            return
+        checker.handles_checked += 1
+        current = self._out_flip[handle._worker]
+        if current >= handle._gen + 2:
+            checker._violate(
+                "stale-view",
+                f"lazy handle into worker {handle._worker}'s out arena "
+                f"({handle.arena_name!r}, minted at generation "
+                f"{handle._gen}) used at generation {current}: the "
+                f"double-buffered arena was recycled by later lazy calls "
+                f"and its payload bytes overwritten",
+                worker=handle._worker,
+                minted_gen=handle._gen,
+                current_gen=current,
+            )
+
+    def _check_lazy_args(self, per_rank, common) -> None:
+        """Validate every team-minted handle about to ship into a worker.
+
+        Workers copy a shipped handle's bytes straight out of the named
+        arena (even when the driver already materialized ``fields``), so
+        staleness must be caught here, before dispatch.
+        """
+        stack = list(common)
+        if per_rank is not None:
+            stack.extend(a for args in per_rank for a in args)
+        while stack:
+            obj = stack.pop()
+            if isinstance(obj, ShmMessage):
+                ref = obj._team_ref
+                if ref is not None and ref() is self:
+                    self._check_handle(obj)
+            elif isinstance(obj, LazyConcat):
+                stack.extend(obj.pieces)
+            elif isinstance(obj, (tuple, list)):
+                stack.extend(obj)
+            elif isinstance(obj, dict):
+                stack.extend(obj.values())
 
     @staticmethod
     def _grown(segment: shared_memory.SharedMemory | None, nbytes: int):
@@ -604,11 +700,15 @@ class ParkedProcessTeam(RankTeam):
             _, metas, where, total, worker_dec, worker_enc = msg
             transport_in += worker_dec + worker_enc
             arena_name = None
+            register = None
             if where == "rep":
                 buf = self._rep[w].buf
             elif where == "out":
                 out = self._out[w][lazy_idx[w]]
                 arena_name, buf = out.name, out.buf
+
+                def register(handle, _w=w, _gen=self._out_flip[w]):
+                    self._register_handle(handle, _w, _gen)
             else:  # pipe spill
                 spills += 1
                 buf = self._conns[w].recv_bytes()
@@ -619,7 +719,7 @@ class ParkedProcessTeam(RankTeam):
             t0 = time.perf_counter() if profiling else 0.0
             for rk, meta, duration, start in metas:
                 if arena_name is not None:
-                    results[rk] = _lazy_decode(meta, arena_name, buf)
+                    results[rk] = _lazy_decode(meta, arena_name, buf, register)
                 else:
                     results[rk] = _decode(meta, buf)
                 durations[rk] = duration
@@ -639,6 +739,8 @@ class ParkedProcessTeam(RankTeam):
             raise RuntimeError("team is closed")
         profiling = self.tracer.enabled
         t_begin = time.perf_counter() if profiling else 0.0
+        if self.racecheck is not None:
+            self._check_lazy_args(per_rank, common)
         if per_rank is not None:
             per_rank = {i: tuple(args) for i, args in enumerate(per_rank)}
         involved, lazy_idx, ser_out = self._dispatch(
@@ -666,6 +768,8 @@ class ParkedProcessTeam(RankTeam):
             raise RuntimeError("team is closed")
         profiling = self.tracer.enabled
         t_begin = time.perf_counter() if profiling else 0.0
+        if self.racecheck is not None:
+            self._check_lazy_args([args], ())
         involved, lazy_idx, ser_out = self._dispatch(
             method, {rank: args}, (), only_rank=rank, profiling=profiling
         )
@@ -707,6 +811,16 @@ class ParkedProcessTeam(RankTeam):
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+        # Detach every live handle we minted *before* closing the arenas:
+        # an un-materialized handle would otherwise hold an exported
+        # memoryview (making segment.close() raise BufferError and leaving
+        # a silent read-from-unlinked-mapping window) — detached handles
+        # fail loud with ArenaClosedError instead.
+        for ref in self._minted:
+            handle = ref()
+            if handle is not None:
+                handle._buf = None
+        self._minted.clear()
         segments = [
             *self._slots, *self._cmd, *self._rep, *self._retired,
             *(seg for pair in self._out for seg in pair),
