@@ -1,0 +1,111 @@
+"""B1 — aggregate root throughput of the batched multi-source sweeps.
+
+Times the official 64-root Graph500 loop answered one root at a time
+against the same roots answered in batched sweeps: ``bfs64`` (one uint64
+lane per root, so one edge traversal advances up to 64 BFS trees) and
+``sssp_batch`` (multi-root ∆-stepping over a shared distance matrix with
+coalesced ``(vertex, lane, dist)`` wire triples).  The deliverable is
+aggregate roots/sec, min-of-N over the *whole* root sample per entry,
+with ``speedup`` = batched throughput / loop throughput.
+
+Before anything is timed the protocol digest-asserts per-lane
+bit-identity from an untimed answer pass: every ``sssp_batch`` lane's
+(dist, parent) must hash identically to its single-root run, every
+``bfs64`` lane's levels likewise (hop distance is unique; BFS parent
+trees are per-lane *validated* instead, since direction-optimizing and
+bit-parallel claiming tie-break parents differently — both valid).  A
+wrong answer can therefore never report a speedup.
+
+Usage:
+
+    # Full protocol (the committed headline numbers):
+    python benchmarks/bench_b1_batched.py --scale 16 --ranks 16 \
+        --repeats 5 --out benchmarks/results/BENCH_B1.json
+
+    # CI perf-smoke: small scale, gate on the committed baseline:
+    python benchmarks/bench_b1_batched.py --scale 10 --ranks 4 \
+        --roots 16 --repeats 2 \
+        --check benchmarks/results/BENCH_B1_smoke.json
+
+``--check`` exits non-zero if any entry's wall-clock regresses more than
+``--max-regression`` (default 50% — shared CI runners are noisy) past
+the baseline document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.perfbench import (
+    check_regression,
+    dump_json,
+    load_json,
+    run_batched_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=16)
+    parser.add_argument("--ranks", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--roots", type=int, default=64, help="root sample size (official: 64)"
+    )
+    parser.add_argument(
+        "--batch-roots", type=int, default=64, help="lanes per sweep (<= 64)"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["serial"],
+        choices=("serial", "thread", "process"),
+    )
+    parser.add_argument("--out", default=None, help="write the JSON document here")
+    parser.add_argument(
+        "--check",
+        default=None,
+        help="baseline JSON to gate against (CI perf-smoke mode)",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.50)
+    args = parser.parse_args(argv)
+
+    doc = run_batched_bench(
+        args.scale,
+        args.ranks,
+        backends=tuple(args.backends),
+        num_roots=args.roots,
+        batch_roots=args.batch_roots,
+        workers=args.workers,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    for key, ratio in sorted(doc["speedup"].items()):
+        print(f"speedup {key}: {ratio:.2f}x aggregate roots/sec", file=sys.stderr)
+    if args.out:
+        dump_json(doc, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        failures = check_regression(
+            doc, load_json(args.check), max_regression=args.max_regression
+        )
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"batched-smoke OK (within {args.max_regression:.0%} of {args.check})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

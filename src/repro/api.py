@@ -60,7 +60,7 @@ from repro.simmpi.machine import MachineSpec
 __all__ = ["ENGINES", "KERNELS", "RunSummary", "SharedRun", "run"]
 
 #: Kernel names accepted by :func:`run`, in documentation order.
-KERNELS = ("sssp", "bfs", "cc", "pagerank", "kcore")
+KERNELS = ("sssp", "bfs", "cc", "pagerank", "kcore", "bfs64", "sssp_batch")
 
 #: Engine (layout) names accepted by :func:`run`, in documentation order.
 ENGINES = ("dist1d", "dist2d", "shared")
@@ -293,6 +293,77 @@ def _run_bfs_shared(
     return SharedRun(result=_shared_bfs(graph, source, **extra), kernel="bfs")
 
 
+def _as_roots(kernel: str, source) -> "np.ndarray":
+    """Validate a batched kernel's root batch (a sequence of vertex ids)."""
+    import numpy as np
+
+    if source is None or np.isscalar(source) or isinstance(source, (int,)):
+        raise ValueError(
+            f"kernel {kernel!r} is batched multi-source: pass a sequence "
+            f"of root vertex ids as source= (e.g. source=[0, 5, 9])"
+        )
+    roots = np.ascontiguousarray(source, dtype=np.int64).ravel()
+    if roots.size == 0:
+        raise ValueError(f"kernel {kernel!r} needs at least one root")
+    return roots
+
+
+def _run_bfs64_dist1d(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    racecheck, executor, workers, **extra
+):
+    _reject_config("bfs64", config, "bfs64 takes no tuning knobs")
+    partition = extra.pop("partition", "block")
+    _reject_extra("bfs64", "dist1d", extra)
+    from repro.engine.kernels import BFS64
+
+    return run_kernel(
+        graph,
+        BFS64(_as_roots("bfs64", source)),
+        num_ranks=num_ranks,
+        machine=machine,
+        partition=partition,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+        racecheck=racecheck,
+        executor=executor,
+        workers=workers,
+    )
+
+
+def _run_sssp_batch_dist1d(
+    graph, source, *, num_ranks, machine, config, faults, tracer, sanitize,
+    racecheck, executor, workers, **extra
+):
+    partition = extra.pop("partition", "block")
+    delta = extra.pop("delta", None)
+    _reject_extra("sssp_batch", "dist1d", extra)
+    if delta is None and config is not None and config.delta is not None:
+        delta = config.delta
+    if delta is None:
+        # Sweeps default to the batch heuristic: finer buckets than a
+        # single-root run, same per-lane fixed point (∆-invariant).
+        from repro.core.adaptive import choose_batch_delta
+
+        delta = choose_batch_delta(graph)
+    from repro.engine.kernels import SSSPBatch
+
+    return run_kernel(
+        graph,
+        SSSPBatch(_as_roots("sssp_batch", source), delta=float(delta)),
+        num_ranks=num_ranks,
+        machine=machine,
+        partition=partition,
+        tracer=tracer,
+        faults=faults,
+        sanitize=sanitize,
+        racecheck=racecheck,
+        executor=executor,
+        workers=workers,
+    )
+
+
 def _make_vertex_dispatch(name: str):
     """Dispatcher for a whole-graph kernel on the vertex-kernel substrate."""
 
@@ -386,10 +457,13 @@ _DISPATCH = {
     ("pagerank", "shared"): _make_oracle_dispatch("pagerank"),
     ("kcore", "dist1d"): _make_vertex_dispatch("kcore"),
     ("kcore", "shared"): _make_oracle_dispatch("kcore"),
+    ("bfs64", "dist1d"): _run_bfs64_dist1d,
+    ("sssp_batch", "dist1d"): _run_sssp_batch_dist1d,
 }
 
 #: Traversal kernels require ``source=``; whole-graph kernels forbid it.
-_NEEDS_SOURCE = ("sssp", "bfs")
+#: The batched kernels take a *sequence* of roots as ``source=``.
+_NEEDS_SOURCE = ("sssp", "bfs", "bfs64", "sssp_batch")
 
 
 def run(
@@ -415,11 +489,17 @@ def run(
         graph: the CSR graph.
         source: source vertex — required for ``sssp``/``bfs``, forbidden
             for the whole-graph kernels (``cc``/``pagerank``/``kcore``).
+            The batched kernels (``bfs64``/``sssp_batch``) take a
+            *sequence* of root vertex ids here (≤ 64 for ``bfs64``) and
+            answer the whole batch in one sweep.
         kernel: what to compute — ``"sssp"`` (∆-stepping, the paper's
             algorithm), ``"bfs"`` (direction-optimizing kernel 2),
             ``"cc"`` (connected components by min-label propagation),
-            ``"pagerank"`` (synchronous push-based power iteration), or
-            ``"kcore"`` (k-core decomposition by batch peeling).
+            ``"pagerank"`` (synchronous push-based power iteration),
+            ``"kcore"`` (k-core decomposition by batch peeling),
+            ``"bfs64"`` (bit-parallel multi-source BFS, one uint64 lane
+            per root), or ``"sssp_batch"`` (multi-root ∆-stepping over a
+            distance matrix; ``delta=`` passes through).
         engine: where to run it — ``"dist1d"`` (1-D partitioned ranks over
             the simulated fabric; every kernel), ``"dist2d"``
             (checkerboard grid; ``sssp`` only), or ``"shared"``

@@ -72,8 +72,15 @@ def _parse_faults_arg(text: str | None):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.kernel == "bfs":
+        if args.batch_roots is not None:
+            return _run_bfs_batched(args)
         return _run_bfs_table(args)
     if args.kernel != "sssp":
+        if args.batch_roots is not None:
+            raise SystemExit(
+                f"repro run: --batch-roots applies to the multi-source "
+                f"kernels (sssp/bfs), not --kernel {args.kernel}"
+            )
         return _run_kernel_smoke(args)
     from repro.core.config import SSSPConfig
     from repro.graph500.harness import run_graph500_sssp
@@ -105,6 +112,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         racecheck=racecheck,
         executor=args.executor,
         workers=args.workers,
+        batch_roots=args.batch_roots,
     )
     print(render_output_block(result))
     if faults is not None:
@@ -243,6 +251,33 @@ def _run_kernel_smoke(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_bfs_batched(args: argparse.Namespace) -> int:
+    """``run --kernel bfs --batch-roots N``: bit-parallel kernel-2 sweeps."""
+    from repro.graph500.bfs_harness import run_graph500_bfs
+    from repro.graph500.report import render_table
+
+    result = run_graph500_bfs(
+        args.scale,
+        num_ranks=args.ranks,
+        num_roots=getattr(args, "roots", 16),
+        seed=args.seed,
+        faults=_parse_faults_arg(args.faults),
+        batch_roots=args.batch_roots,
+    )
+    sweeps = len({r.batch for r in result.roots})
+    print(
+        render_table(
+            [result.row()],
+            title=(
+                f"BFS batched (scale {args.scale}, {args.ranks} ranks, "
+                f"{sweeps} bfs64 sweeps x <= {args.batch_roots} lanes)"
+            ),
+        )
+    )
+    print(f"validation: {'PASSED' if result.all_valid else 'FAILED'}")
+    return 0 if result.all_valid else 1
+
+
 def _cmd_bfs_alias(args: argparse.Namespace) -> int:
     from repro._deprecation import warn_alias
 
@@ -351,13 +386,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_regression,
         dump_json,
         load_json,
+        run_batched_bench,
         run_bench,
         run_kernel_bench,
         run_multicore_bench,
         run_parallel_bench,
     )
 
-    if args.multicore:
+    if args.batched:
+        doc = run_batched_bench(
+            args.scale,
+            args.ranks,
+            backends=tuple(args.backends),
+            num_roots=args.bench_roots,
+            batch_roots=args.batch_roots,
+            workers=args.workers if args.workers is not None else 4,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    elif args.multicore:
         doc = run_multicore_bench(
             args.scale,
             args.ranks,
@@ -607,6 +654,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_run.add_argument("--roots", type=int, default=16)
+    p_run.add_argument(
+        "--batch-roots",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "answer the root sample in batched multi-source sweeps of at "
+            "most N lanes each (sssp -> sssp_batch distance-matrix sweeps, "
+            "bfs -> bit-parallel bfs64, N <= 64) instead of one run per "
+            "root; reports stay per-root via amortized lane accounting"
+        ),
+    )
     p_run.add_argument("--baseline", action="store_true")
     p_run.add_argument(
         "--engine",
@@ -746,6 +805,30 @@ def build_parser() -> argparse.ArgumentParser:
             "per parallel backend against a serial anchor and embed the "
             "speedup curve (digests asserted identical to serial)"
         ),
+    )
+    p_bench.add_argument(
+        "--batched",
+        action="store_true",
+        help=(
+            "run the B1 batched multi-source protocol instead: time the "
+            "sequential per-root loop vs batched sweeps (bfs64 / "
+            "sssp_batch) over the same root sample, digest-asserting "
+            "per-lane bit-identity, and embed aggregate roots/sec speedups"
+        ),
+    )
+    p_bench.add_argument(
+        "--bench-roots",
+        type=int,
+        default=64,
+        metavar="N",
+        help="root sample size for --batched (default: the official 64)",
+    )
+    p_bench.add_argument(
+        "--batch-roots",
+        type=int,
+        default=64,
+        metavar="N",
+        help="lanes per batched sweep for --batched (<= 64, default 64)",
     )
     p_bench.add_argument(
         "--worker-counts",

@@ -18,11 +18,18 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["choose_delta"]
+__all__ = ["choose_batch_delta", "choose_delta"]
 
 # Relaxations-per-vertex budget per light phase; 3-4 is the usual sweet spot
 # for uniform weights (validated by the F4 sweep).
 _DELTA_SCALE = 4.0
+
+# Batched sweeps run their bucket machinery once for all lanes, so the
+# per-epoch overhead that pushes single-root ∆ upward is amortized 64x —
+# what remains is the cost of speculative relaxations, which a finer ∆
+# avoids.  1/8 of the single-root ∆ sits at the bottom of the measured
+# U-curve for 64-lane sweeps on Kronecker graphs (B1 protocol).
+_BATCH_DELTA_FACTOR = 0.125
 
 
 def choose_delta(graph: CSRGraph, scale: float = _DELTA_SCALE) -> float:
@@ -42,3 +49,15 @@ def choose_delta(graph: CSRGraph, scale: float = _DELTA_SCALE) -> float:
     mean_degree = m / graph.num_vertices
     delta = scale * w_max / max(mean_degree, 1.0)
     return float(min(max(delta, 1e-9), w_max))
+
+
+def choose_batch_delta(graph: CSRGraph, scale: float = _DELTA_SCALE) -> float:
+    """Pick ∆ for a batched multi-root sweep (``sssp_batch``).
+
+    The per-lane fixed point is the exact shortest distance for any ∆
+    (min over float64 path sums is order-free), so a batched sweep is
+    free to bucket more finely than the single-root heuristic without
+    perturbing results — and it should: epoch overhead is shared by all
+    lanes, while speculation cost is paid per lane.
+    """
+    return float(max(choose_delta(graph, scale) * _BATCH_DELTA_FACTOR, 1e-9))

@@ -1,0 +1,88 @@
+"""Multi-root SSSP result: a distance matrix with per-lane views.
+
+The batched ∆-stepping kernel answers a batch of roots in one sweep over
+a ``(num_vertices, num_roots)`` distance matrix.  Column ``i`` is
+bit-identical to the single-root answer from ``roots[i]`` (min over
+float64 path sums is exact), so ``lane(i)`` reconstructs a plain
+:class:`~repro.core.result.SSSPResult` — including the shortest-path
+tree, derived with the very same :func:`~repro.core.result.derive_parents`
+pass the single-root engines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import SSSPResult
+from repro.graph.csr import CSRGraph
+from repro.utils.timing import Counters
+
+__all__ = ["MultiSSSPResult"]
+
+
+@dataclass
+class MultiSSSPResult:
+    """Distances and trees from a batch of roots, lane-indexed.
+
+    ``dist`` is ``(num_vertices, num_lanes)`` float64 (inf = unreachable);
+    ``parent`` the matching int64 tree matrix (-1 = unreachable, root its
+    own parent, per lane).
+    """
+
+    roots: np.ndarray
+    # repro: index-space: dist[vertex,lane]=local, parent[vertex,lane]=global
+    dist: np.ndarray
+    parent: np.ndarray
+    counters: Counters = field(default_factory=Counters)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.roots = np.ascontiguousarray(self.roots, dtype=np.int64)
+        self.dist = np.ascontiguousarray(self.dist, dtype=np.float64)
+        self.parent = np.ascontiguousarray(self.parent, dtype=np.int64)
+        if self.dist.shape != self.parent.shape:
+            raise ValueError("dist/parent shape mismatch")
+        if self.dist.ndim != 2 or self.dist.shape[1] != self.roots.size:
+            raise ValueError(
+                f"expected (n, {self.roots.size}) lane matrices, "
+                f"got {self.dist.shape}"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.dist.shape[0])
+
+    @property
+    def num_lanes(self) -> int:
+        return int(self.roots.size)
+
+    def lane(self, i: int) -> SSSPResult:
+        """The i-th root's answer as a single-root :class:`SSSPResult`."""
+        if not 0 <= i < self.num_lanes:
+            raise IndexError(f"lane {i} out of range [0, {self.num_lanes})")
+        result = SSSPResult(
+            source=int(self.roots[i]),
+            dist=self.dist[:, i].copy(),
+            parent=self.parent[:, i].copy(),
+        )
+        result.meta["lane"] = i
+        result.meta["batched"] = True
+        return result
+
+    def traversed_edges(self, graph: CSRGraph) -> int:
+        """Sum of the per-lane Graph500 TEPS numerators."""
+        reached = np.isfinite(self.dist)  # (n, L)
+        per_lane = graph.out_degree @ reached  # (L,)
+        return int((per_lane // 2).sum())
+
+    def validate(self, graph: CSRGraph):
+        """Graph500 spec checks on every lane; failures are lane-prefixed."""
+        from repro.graph500.validation import ValidationReport, validate_sssp
+
+        failures: list[str] = []
+        for i in range(self.num_lanes):
+            report = validate_sssp(graph, self.lane(i))
+            failures.extend(f"lane {i}: {msg}" for msg in report.failures)
+        return ValidationReport(ok=not failures, failures=failures)

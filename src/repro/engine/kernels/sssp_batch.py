@@ -1,0 +1,220 @@
+"""Batched multi-root ∆-stepping: one sweep, a distance matrix.
+
+State is a ``(owned, num_roots)`` float64 matrix plus an ``improved``
+mask; every superstep is one shared bucket epoch whose threshold comes
+from the global min-vote (the same reduction the single-root 1-D engine
+terminates on), and the drain loop inside a superstep relaxes
+in-bucket improvements to quiescence.  Wire records are
+``(vertex, lane, dist)`` triples, so one owner-routed exchange carries
+every lane's relaxations together.
+
+Per lane the fixed point is the true shortest distance, and min over
+float64 path sums is exact and order-free — so each distance column is
+bit-identical to a single-root run, and deriving the tree with the same
+:func:`~repro.core.result.derive_parents` pass makes the parent columns
+bit-identical too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multi import MultiSSSPResult
+from repro.core.relaxation import frontier_edges, scatter_min
+from repro.core.result import derive_parents
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SSSPBatch"]
+
+#: Finite stand-in for "no pending work" (see repro.engine.protocol.VOTE_INF).
+_VOTE_INF = 1e300
+
+
+class SSSPBatch:
+    """Batched multi-root ∆-stepping on the vertex-kernel substrate."""
+
+    name = "sssp_batch"
+    vote_op = "min"
+    drain = True
+    value_dtype = np.float64
+    #: Fold duplicate (vertex, lane) candidates with a local min before
+    #: routing.  Result-neutral either way (min is order-free); the knob
+    #: exists because the win depends on the graph's hub density.
+    combine_wire = True
+    #: Multi-field wire record: the destination lane and the candidate
+    #: distance.  The implicit ``vertex`` field is the edge target.
+    wire_fields = (("lane", np.int64), ("dist", np.float64))
+
+    def __init__(self, roots, delta: float) -> None:
+        roots = np.ascontiguousarray(roots, dtype=np.int64).ravel()
+        if roots.size == 0:
+            raise ValueError("sssp_batch needs at least one root")
+        if not delta > 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.roots = roots
+        self.num_lanes = int(roots.size)
+        self.delta = float(delta)
+
+    def init_state(self, ctx) -> dict:
+        if np.any(self.roots < 0) or np.any(self.roots >= ctx.num_vertices):
+            raise ValueError(
+                f"sssp_batch roots out of range [0, {ctx.num_vertices})"
+            )
+        owned = ctx.owned_count
+        L = self.num_lanes
+        # repro: index-space: dist[local,lane]=local, improved[local,lane]=local
+        dist = np.full((owned, L), np.inf, dtype=np.float64)
+        improved = np.zeros((owned, L), dtype=bool)
+        mine = (self.roots >= ctx.lo) & (self.roots < ctx.hi)
+        lanes = np.flatnonzero(mine)
+        if lanes.size:
+            locs = self.roots[lanes] - ctx.lo
+            dist[locs, lanes] = 0.0
+            improved[locs, lanes] = True
+        minpend = np.where(improved, dist, np.inf).min(axis=1)
+        return {
+            "dist": dist,
+            "improved": improved,
+            # Per-row min pending distance: min over dist where improved,
+            # inf when the row holds no improved bit.  Kept exact by apply
+            # (winners fold their value in; retired rows are recomputed),
+            # it collapses frontier selection and the vote to O(owned)
+            # float compares — no lane dimension for parked rows, which
+            # dominate under a fine delta.
+            "minpend": minpend,
+            # Bucket threshold for the current epoch; begin_step derives
+            # it from the allreduced min pending distance.
+            "threshold": np.inf,
+            # Per-lane edges-scanned telemetry (gen-owned key).
+            "lane_edges": np.zeros(L, dtype=np.int64),
+        }
+
+    def begin_step(self, state: dict, ctx, reduced: float) -> None:
+        # The epoch's bucket is the one holding the globally smallest
+        # pending distance; every rank derives the same threshold from
+        # the same reduction (exactly how the 1-D engine picks buckets).
+        state["threshold"] = (np.floor(reduced / self.delta) + 1.0) * self.delta
+
+    def frontier_from(self, state: dict, ctx) -> np.ndarray:
+        # A row is in the bucket iff its smallest pending distance is
+        # below the threshold — one float compare per owned row.
+        return np.flatnonzero(state["minpend"] < state["threshold"])
+
+    def gen_messages(self, state: dict, ctx, frontier: np.ndarray):
+        # repro: index-space: frontier=local, dst=global
+        lg = ctx.local_graph
+        dist_rows = state["dist"][frontier]  # compact (F, L) gather, reused below
+        sub = (
+            state["improved"][frontier] & (dist_rows < state["threshold"])
+        )  # (F, L) lanes to expand per frontier row
+        src_l, dst, w = frontier_edges(lg, frontier)
+        scanned = int(src_l.size)
+        deg = lg.degree_of(frontier)
+        # One traversal shared by every lane.  Work is O(messages), not
+        # O(lanes x union edges): expand only the active (row, lane)
+        # pairs, never a per-lane pass over the whole union expansion.
+        pair_rows, pair_lanes = np.nonzero(sub)
+        np.add.at(state["lane_edges"], pair_lanes, deg[pair_rows])
+        empty = np.empty(0, dtype=np.int64)
+        if pair_rows.size == 0 or src_l.size == 0:
+            return empty, (empty, np.empty(0, dtype=np.float64)), scanned
+        # Each union edge fans out to its source row's active lanes: edge
+        # e of row r emits rep[e] = |active(r)| records whose lanes are
+        # the row's slice of the row-major (row, lane) pair list.
+        pos = np.repeat(np.arange(frontier.size, dtype=np.int64), deg)
+        active_per_row = sub.sum(axis=1).astype(np.int64)
+        rep = active_per_row[pos]
+        total = int(rep.sum())
+        if total == 0:
+            return empty, (empty, np.empty(0, dtype=np.float64)), scanned
+        row_start = np.zeros(frontier.size, dtype=np.int64)
+        np.cumsum(active_per_row[:-1], out=row_start[1:])
+        # Index of each output record in the pair list: the record block of
+        # edge e starts at its row's pair offset, rebased so one repeat plus
+        # an arange covers every (edge, lane) combination.
+        base = row_start[pos] - (np.cumsum(rep) - rep)
+        pidx = np.repeat(base, rep) + np.arange(total, dtype=np.int64)
+        lanes_out = pair_lanes[pidx]
+        pos_out = np.repeat(pos, rep)
+        d_out = dist_rows[pos_out, lanes_out] + np.repeat(w, rep)
+        tgt_out = np.repeat(dst, rep)
+        if not self.combine_wire:
+            return tgt_out, (lanes_out, d_out), scanned
+        # Sender-side combine: hubs collect many candidates per
+        # (vertex, lane) in one pass (~10x on Kronecker), and min is
+        # exact over float64 — fold them before they hit the wire so
+        # routing, byte accounting and the receive scatter all run on
+        # the folded records.  Order-free, so lanes stay bit-identical.
+        L = np.int64(self.num_lanes)
+        flat = tgt_out * L + lanes_out
+        if ctx.num_vertices * self.num_lanes < 2**31:
+            # 4-byte sort keys roughly quarter the argsort constant.
+            flat = flat.astype(np.int32)
+        order = np.argsort(flat)
+        sf = flat[order]
+        group = np.empty(sf.size, dtype=bool)
+        group[0] = True
+        np.not_equal(sf[1:], sf[:-1], out=group[1:])
+        idx = np.flatnonzero(group)
+        ukeys = sf[idx]
+        dmin = np.minimum.reduceat(d_out[order], idx)
+        utgt = ukeys // L
+        return utgt, (ukeys - utgt * L, dmin), scanned
+
+    def apply_messages(self, state: dict, ctx, targets, values) -> None:
+        dist = state["dist"]
+        improved = state["improved"]
+        minpend = state["minpend"]
+        # Retire exactly the entries gen expanded this pass (recomputed,
+        # not cached: only apply writes dist/improved, so the mask is
+        # unchanged since gen read it).  Only in-bucket rows can hold
+        # expanded bits, so the lane-level scan runs over the frontier,
+        # not over every owned row.
+        rows = np.flatnonzero(minpend < state["threshold"])
+        if rows.size:
+            imp = improved[rows]
+            dr = dist[rows]
+            imp &= dr >= state["threshold"]
+            improved[rows] = imp
+            minpend[rows] = np.where(imp, dr, np.inf).min(axis=1)
+        lanes, dvals = values
+        if targets.size == 0:
+            return
+        L = dist.shape[1]
+        flat = targets * L + lanes
+        winners = scatter_min(dist.reshape(-1), flat, dvals)
+        if winners.size:
+            wr = winners // L
+            improved[wr, winners % L] = True
+            # dist only decreases, and retire recomputes any row it
+            # clears, so folding the winning values in keeps minpend
+            # exact.
+            np.minimum.at(minpend, wr, dist.reshape(-1)[winners])
+
+    def vote(self, state: dict, ctx) -> float:
+        smallest = float(state["minpend"].min(initial=np.inf))
+        return smallest if np.isfinite(smallest) else _VOTE_INF
+
+    def done(self, reduced: float, steps: int) -> bool:
+        return reduced >= _VOTE_INF
+
+    def export_state(self, state: dict, ctx) -> dict:
+        return {"dist": state["dist"], "lane_edges": state["lane_edges"]}
+
+    def finalize(
+        self, graph: CSRGraph, exports: list[dict], steps: int
+    ) -> MultiSSSPResult:
+        dist = np.concatenate([e["dist"] for e in exports], axis=0)
+        lane_edges = np.sum([e["lane_edges"] for e in exports], axis=0)
+        parent = np.empty_like(dist, dtype=np.int64)
+        for i in range(self.num_lanes):
+            # The same tight-edge pass every single-root engine uses, per
+            # column — which is what pins parent bit-identity per lane.
+            parent[:, i] = derive_parents(graph, dist[:, i], int(self.roots[i]))
+        result = MultiSSSPResult(roots=self.roots, dist=dist, parent=parent)
+        result.counters.add("epochs", steps)
+        result.meta["algorithm"] = "sssp_batch_delta_stepping"
+        result.meta["delta"] = self.delta
+        result.meta["num_lanes"] = self.num_lanes
+        result.meta["lane_edges_scanned"] = [int(x) for x in lane_edges]
+        return result

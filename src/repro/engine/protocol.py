@@ -85,6 +85,16 @@ class Kernel(Protocol):
             rank has active vertices (k-core's peeling cascade) instead of
             running exactly one pass (label propagation, power iteration).
         value_dtype: dtype of the ``value`` wire field this kernel emits.
+        wire_fields: optional ``((name, dtype), ...)`` declaring a
+            *multi-field* wire record.  When present, ``gen_messages``
+            returns a tuple of equal-length value arrays (one per field,
+            in declaration order) alongside the targets, and
+            ``apply_messages`` receives the same tuple back — each field
+            travels as its own named :class:`Message` array, so the
+            sanitizer's schema and conservation audits cover every field.
+            Lane-indexed kernels (batched multi-source BFS/SSSP) use this
+            to ship ``(vertex, lane-mask, payload)`` records without
+            packing tricks.
 
     All rank-side hooks receive ``(state, ctx)`` and must touch nothing
     else: under the process backend they execute in forked workers, so
@@ -168,8 +178,12 @@ class _KernelRank:
             local_graph=graph.extract_rows(owned),
         )
         self.state = kernel.init_state(self.ctx)
+        # Multi-field wire records: ((name, dtype), ...) or None (legacy
+        # single "value" field).  Internally values are always a tuple of
+        # equal-length arrays so routing has one code path.
+        self._wire_fields = getattr(kernel, "wire_fields", None)
         # Outbox accumulators: per destination, lists of (targets, values).
-        self._out: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        self._out: list[list[tuple[np.ndarray, tuple[np.ndarray, ...]]]] = [
             [] for _ in range(num_ranks)
         ]
         self.step_edges = 0
@@ -191,6 +205,8 @@ class _KernelRank:
             self.state, self.ctx, frontier
         )
         self.step_edges += int(scanned)
+        if self._wire_fields is None:
+            values = (values,)
         self._route(targets, values)
 
     def kernel_apply(self, msg: Message | None) -> None:
@@ -200,7 +216,16 @@ class _KernelRank:
         every owned vertex each pass even when nothing arrived.
         """
         # repro: index-space: msg["vertex"]=global, targets=local
-        if msg is None:
+        if self._wire_fields is not None:
+            if msg is None:
+                targets = np.empty(0, dtype=np.int64)
+                values = tuple(
+                    np.empty(0, dtype=dtype) for _, dtype in self._wire_fields
+                )
+            else:
+                targets = msg["vertex"] - self.ctx.lo
+                values = tuple(msg[name] for name, _ in self._wire_fields)
+        elif msg is None:
             targets = np.empty(0, dtype=np.int64)
             values = np.empty(0, dtype=self.kernel.value_dtype)
         else:
@@ -246,14 +271,16 @@ class _KernelRank:
 
     # -- routing ------------------------------------------------------------
 
-    def _route(self, targets: np.ndarray, values: np.ndarray) -> None:
+    def _route(self, targets: np.ndarray, values: tuple[np.ndarray, ...]) -> None:
         """Split emitted records by owner, preserving generation order.
 
         Self-addressed records go through the fabric like any others: the
         inbox then holds *every* record for an owned vertex concatenated
         in source-rank order, which is what lets order-sensitive kernels
         reproduce a sequential oracle bitwise (and keeps the sanitizer's
-        conservation audit covering the whole payload).
+        conservation audit covering the whole payload).  ``values`` is a
+        tuple of equal-length field arrays (length 1 for legacy kernels);
+        every field is sliced by the same stable owner order.
         """
         # repro: wire-path
         # repro: index-space: targets=global
@@ -268,20 +295,34 @@ class _KernelRank:
             self._out[first].append((targets, values))
             return
         # The per-destination record order this split produces is the wire
-        # byte order, so the owner argsort must stay stable.
+        # byte order, so the owner argsort must stay stable.  Narrowing the
+        # key dtype lets the stable sort run as an O(n) radix pass — any
+        # stable sort yields the same permutation, so the wire bytes are
+        # unchanged.
+        if self.num_ranks <= 256:
+            owners = owners.astype(np.uint8)
+        elif self.num_ranks <= 65536:
+            owners = owners.astype(np.uint16)
         order = np.argsort(owners, kind="stable")
         so = owners[order]
         st = targets[order]
-        sv = values[order]
+        sv = tuple(v[order] for v in values)
         cuts = np.flatnonzero(np.diff(so)) + 1
         bounds = np.concatenate(([0], cuts, [so.size]))
         for i in range(bounds.size - 1):
             b, e = int(bounds[i]), int(bounds[i + 1])
-            self._out[int(so[b])].append((st[b:e], sv[b:e]))
+            self._out[int(so[b])].append(
+                (st[b:e], tuple(v[b:e] for v in sv))
+            )
 
     def flush_outbox(self) -> dict[int, Message]:
         """Pack queued records into one message per destination."""
         out: dict[int, Message] = {}
+        names = (
+            ("value",)
+            if self._wire_fields is None
+            else tuple(name for name, _ in self._wire_fields)
+        )
         for dst in range(self.num_ranks):
             parts = self._out[dst]
             if not parts:
@@ -291,8 +332,11 @@ class _KernelRank:
                 targets, values = parts[0]
             else:
                 targets = np.concatenate([p[0] for p in parts])
-                values = np.concatenate([p[1] for p in parts])
-            msg = Message(vertex=targets, value=values)
+                values = tuple(
+                    np.concatenate([p[1][i] for p in parts])
+                    for i in range(len(names))
+                )
+            msg = Message(vertex=targets, **dict(zip(names, values)))
             self.step_bytes += msg.nbytes
             out[dst] = msg
         return out

@@ -5,6 +5,15 @@ machine: generate the Kronecker edge list, build the CSR (kernel 1, wall-
 clock timed), sample roots, run distributed ∆-stepping per root (kernel 3,
 simulated-time measured), validate every run, and aggregate TEPS.
 
+With ``batch_roots=`` the per-root loop becomes batched multi-source
+sweeps on the ``sssp_batch`` kernel: roots are chunked into groups of at
+most ``batch_roots`` and each group is answered by one sweep over a
+shared distance matrix.  TEPS accounting stays per-root — every lane
+gets its own :class:`RootRun` whose simulated time is the amortized
+share ``sweep_seconds / num_lanes`` and whose validation runs on the
+lane's reconstructed single-root answer (bit-identical to the unbatched
+run by construction).
+
 The harness is what every evaluation experiment calls; its knobs mirror the
 real benchmark driver's command line (scale, edgefactor, roots, ranks,
 machine, algorithm configuration).
@@ -22,7 +31,7 @@ from repro.graph.csr import CSRGraph, build_csr
 from repro.graph.kronecker import generate_kronecker
 from repro.graph500.roots import sample_roots
 from repro.graph500.spec import GRAPH500_EDGEFACTOR, GRAPH500_NUM_ROOTS
-from repro.graph500.teps import teps_summary
+from repro.graph500.teps import lane_teps, teps_summary
 from repro.graph500.validation import ValidationReport, validate_sssp
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -50,6 +59,13 @@ class RootRun:
     #: The run's ``meta["racecheck"]`` audit summary when the harness ran
     #: with ``racecheck=True``; ``None`` otherwise.
     racecheck: dict | None = None
+    #: Batched-sweep provenance: which lane of which sweep answered this
+    #: root, and the sweep's total simulated seconds (``simulated_seconds``
+    #: is the amortized ``sweep_seconds / lanes-in-sweep`` share).  All
+    #: ``None`` for unbatched per-root runs.
+    lane: int | None = None
+    batch: int | None = None
+    sweep_seconds: float | None = None
 
 
 @dataclass
@@ -85,6 +101,20 @@ class BenchmarkResult:
         """Sum of a counter across roots (e.g. 'edges_relaxed')."""
         return int(sum(r.counters.get(key, 0) for r in self.roots))
 
+    def total_counters(self) -> dict[str, int]:
+        """Union-of-keys counter totals across every root.
+
+        Root runs do not all carry the same counter set — batched lanes
+        report sweep counters (``epochs``/``edges_scanned``) while
+        unbatched runs add relaxation detail — so aggregation takes the
+        key union and treats a missing key as 0 rather than raising.
+        """
+        out: dict[str, int] = {}
+        for r in self.roots:
+            for key, value in r.counters.items():
+                out[key] = out.get(key, 0) + int(value)
+        return out
+
     def row(self) -> dict[str, object]:
         """One summary row for report tables."""
         s = self.teps
@@ -113,6 +143,7 @@ def run_sssp_on_graph(
     racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
+    batch_roots: int | None = None,
 ) -> list[RootRun]:
     """Kernel-3 loop: one distributed run per root, each validated.
 
@@ -121,9 +152,37 @@ def run_sssp_on_graph(
     ``engine`` selects the distributed SSSP engine (``dist1d``/``dist2d``).
     ``executor``/``workers`` select the rank-execution backend; the backend
     is resolved once and its worker pool is shared across all roots.
+
+    ``batch_roots`` switches to batched multi-source sweeps: the roots
+    are chunked into groups of at most ``batch_roots`` and each group is
+    answered by one ``sssp_batch`` sweep, split back into per-lane
+    :class:`RootRun` entries (amortized timing, per-lane validation).
     """
     if tracer is None:
         tracer = NULL_TRACER
+    if batch_roots is not None:
+        if batch_roots < 1:
+            raise ValueError(f"batch_roots must be >= 1, got {batch_roots}")
+        if engine != "dist1d":
+            raise ValueError(
+                "batched sweeps run on the dist1d vertex-kernel substrate; "
+                f"engine={engine!r} does not support batch_roots="
+            )
+        return _batched_sssp_runs(
+            graph,
+            roots,
+            num_ranks,
+            machine,
+            config,
+            validate,
+            tracer=tracer,
+            faults=faults,
+            sanitize=sanitize,
+            racecheck=racecheck,
+            executor=executor,
+            workers=workers,
+            batch_roots=batch_roots,
+        )
     exec_obj, owns_executor = resolve_executor(executor, workers)
     runs: list[RootRun] = []
     try:
@@ -172,6 +231,99 @@ def run_sssp_on_graph(
     return runs
 
 
+def _batched_sssp_runs(
+    graph: CSRGraph,
+    roots: np.ndarray,
+    num_ranks: int,
+    machine: MachineSpec,
+    config: SSSPConfig,
+    validate: bool,
+    *,
+    tracer: Tracer,
+    faults: object,
+    sanitize: bool,
+    racecheck: bool,
+    executor: str | RankExecutor | None,
+    workers: int | None,
+    batch_roots: int,
+) -> list[RootRun]:
+    """Kernel-3 loop in batched sweeps: ``sssp_batch``, split per lane.
+
+    One sweep answers up to ``batch_roots`` roots over a shared distance
+    matrix; per-lane answers are bit-identical to single-root runs, so
+    each lane is validated and TEPS-accounted as its own root with the
+    amortized time share ``sweep_seconds / num_lanes``.
+    """
+    exec_obj, owns_executor = resolve_executor(executor, workers)
+    runs: list[RootRun] = []
+    try:
+        for batch_index in range(0, (len(roots) + batch_roots - 1) // batch_roots):
+            chunk = roots[batch_index * batch_roots : (batch_index + 1) * batch_roots]
+            chunk = [int(r) for r in chunk]
+            num_lanes = len(chunk)
+            tracer.use_sim_clock(None)
+            with tracer.span(
+                "batch", cat="harness", index=batch_index,
+                roots=chunk, lanes=num_lanes,
+            ):
+                run = api.run(
+                    graph,
+                    chunk,
+                    kernel="sssp_batch",
+                    num_ranks=num_ranks,
+                    machine=machine,
+                    config=config,
+                    faults=faults,
+                    tracer=tracer,
+                    sanitize=sanitize,
+                    racecheck=racecheck,
+                    executor=exec_obj,
+                )
+            sweep_seconds = run.modeled_time
+            shared_counters = run.result.counters.as_dict()
+            lane_edges = run.result.meta.get("lane_edges_scanned")
+            for i, root in enumerate(chunk):
+                lane_result = run.result.lane(i)
+                traversed = lane_result.traversed_edges(graph)
+                with tracer.span(
+                    "validation", cat="harness", root=root, lane=i,
+                ):
+                    report = (
+                        validate_sssp(graph, lane_result)
+                        if validate
+                        else ValidationReport(ok=True, failures=[])
+                    )
+                # Per-lane telemetry split: shared sweep counters plus
+                # this lane's own edges-scanned attribution.  The key set
+                # intentionally differs from single-root runs (see
+                # BenchmarkResult.total_counters).
+                counters = dict(shared_counters)
+                if lane_edges is not None:
+                    counters["edges_scanned"] = int(lane_edges[i])
+                counters["batch_lanes"] = num_lanes
+                runs.append(
+                    RootRun(
+                        root=root,
+                        simulated_seconds=sweep_seconds / num_lanes,
+                        teps=lane_teps(traversed, sweep_seconds, num_lanes),
+                        traversed_edges=traversed,
+                        validation=report,
+                        counters=counters,
+                        time_breakdown=run.time_breakdown,
+                        trace=run.comm,
+                        work_imbalance=getattr(run, "work_imbalance", 1.0),
+                        racecheck=run.result.meta.get("racecheck"),
+                        lane=i,
+                        batch=batch_index,
+                        sweep_seconds=sweep_seconds,
+                    )
+                )
+    finally:
+        if owns_executor:
+            exec_obj.close()
+    return runs
+
+
 def run_graph500_sssp(
     scale: int,
     num_ranks: int = 8,
@@ -188,11 +340,15 @@ def run_graph500_sssp(
     racecheck: bool = False,
     executor: str | RankExecutor | None = None,
     workers: int | None = None,
+    batch_roots: int | None = None,
 ) -> BenchmarkResult:
     """Run the complete Graph500 SSSP benchmark at the given scale.
 
     ``num_roots`` defaults to the official 64 but experiments routinely use
     fewer for sweeps; validation can be disabled for timing-only runs.
+    ``batch_roots`` answers the roots in batched multi-source sweeps of at
+    most that many lanes each (``sssp_batch`` kernel) instead of one run
+    per root; reports stay per-root via amortized lane accounting.
 
     ``faults`` injects a deterministic fault schedule into every root's
     fabric (answers are unchanged; TEPS degrade by the modeled retry cost);
@@ -221,6 +377,7 @@ def run_graph500_sssp(
         machine=machine.name,
         variant=config.variant_name(),
         num_roots=num_roots,
+        batch_roots=batch_roots,
     )
     gen_timer = Timer()
     with tracer.span("generation", cat="harness", scale=scale, edgefactor=edgefactor):
@@ -245,6 +402,7 @@ def run_graph500_sssp(
         racecheck=racecheck,
         executor=executor,
         workers=workers,
+        batch_roots=batch_roots,
     )
     if tracer.enabled:
         registry = MetricsRegistry()

@@ -20,6 +20,7 @@ def render_output_block(result: BenchmarkResult) -> str:
     """Render the spec's output statistics block as text."""
     teps = result.teps
     sims = np.array([r.simulated_seconds for r in result.roots])
+    batched = [r for r in result.roots if getattr(r, "lane", None) is not None]
     lines = [
         f"SCALE: {result.scale}",
         f"edgefactor: {result.edgefactor}",
@@ -44,6 +45,14 @@ def render_output_block(result: BenchmarkResult) -> str:
         f"harmonic_stddev_TEPS: {teps.hmean_stderr:.6g}",
         f"validation: {'PASSED' if result.all_valid else 'FAILED'}",
     ]
+    if batched:
+        sweeps = len({r.batch for r in batched})
+        lanes = max(r.counters.get("batch_lanes", 1) for r in batched)
+        lines.insert(
+            3,
+            f"batched: {sweeps} multi-source sweeps x <= {lanes} lanes "
+            "(amortized per-root timing)",
+        )
     return "\n".join(lines)
 
 

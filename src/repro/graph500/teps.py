@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.utils.stats import Summary, summarize
 
-__all__ = ["teps_summary"]
+__all__ = ["lane_teps", "teps_summary"]
 
 
 def teps_summary(teps_values: np.ndarray) -> Summary:
@@ -21,3 +21,20 @@ def teps_summary(teps_values: np.ndarray) -> Summary:
     if np.any(teps_values <= 0):
         raise ValueError("TEPS values must be positive (roots must reach >= 1 edge)")
     return summarize(teps_values)
+
+
+def lane_teps(traversed_edges: int, sweep_seconds: float, num_lanes: int) -> float:
+    """Per-root TEPS for one lane of a batched multi-source sweep.
+
+    A batched sweep answers ``num_lanes`` roots in one ``sweep_seconds``
+    run, so each lane is charged the amortized share
+    ``sweep_seconds / num_lanes``.  The accounting is conservative and
+    conserves the aggregate: summing each lane's amortized time recovers
+    the sweep's total, and summing lane TEPS x lane time recovers the
+    sweep's total traversed edges.
+    """
+    if num_lanes < 1:
+        raise ValueError(f"num_lanes must be >= 1, got {num_lanes}")
+    if not sweep_seconds > 0:
+        raise ValueError(f"sweep_seconds must be positive, got {sweep_seconds}")
+    return traversed_edges * num_lanes / sweep_seconds

@@ -1,9 +1,16 @@
-"""A numpy-backed fixed-size bitset.
+"""A numpy-backed fixed-size bitset, plus lane-word helpers.
 
 Used for frontier membership, "vertex settled" flags and validation marks.
 Word-parallel operations (union, intersection, popcount) run at memory
 bandwidth; per-index operations accept arrays so callers never loop in
 Python.
+
+The module-level lane helpers serve the bit-parallel multi-source BFS
+kernel, which carries one uint64 word *per vertex* with one bit per root
+lane: :func:`lane_bit` makes a single-lane mask, :func:`and_not` is the
+word-parallel "new = arrivals & ~visited" step, :func:`nonzero_lanes`
+enumerates which lanes are present anywhere in a word array, and
+:func:`lane_members` extracts one lane's membership column as indices.
 """
 
 from __future__ import annotations
@@ -12,9 +19,74 @@ from collections.abc import Iterator
 
 import numpy as np
 
-__all__ = ["Bitset"]
+__all__ = [
+    "Bitset",
+    "MAX_LANES",
+    "and_not",
+    "lane_bit",
+    "lane_matrix",
+    "lane_members",
+    "nonzero_lanes",
+]
 
 _WORD_BITS = 64
+
+#: Lanes per word: one uint64 bit per root in the batched BFS kernel.
+MAX_LANES = _WORD_BITS
+
+
+def lane_bit(lane: int) -> np.uint64:
+    """The single-bit mask selecting ``lane`` (0-based) within a word."""
+    if not 0 <= lane < MAX_LANES:
+        raise ValueError(f"lane must be in [0, {MAX_LANES}), got {lane}")
+    return np.uint64(1) << np.uint64(lane)
+
+
+def and_not(words: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Word-parallel ``words & ~mask`` (no Python-int promotion pitfalls)."""
+    return np.bitwise_and(words, np.bitwise_not(mask))
+
+
+def nonzero_lanes(words: np.ndarray) -> np.ndarray:
+    """Sorted lane indices set anywhere in ``words`` (int64, ≤ 64 entries).
+
+    The union over all words is one ``bitwise_or`` reduction, so a
+    kernel's per-lane loop iterates only over lanes that actually have
+    members this pass.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size == 0:
+        return np.empty(0, dtype=np.int64)
+    union = np.bitwise_or.reduce(words.ravel())
+    if union == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = np.unpackbits(union.reshape(1).view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits).astype(np.int64)
+
+
+def lane_matrix(words: np.ndarray) -> np.ndarray:
+    """Unpack words into an ``(n, MAX_LANES)`` bool matrix, bit i → column i.
+
+    One ``np.unpackbits`` pass replaces a per-lane masking loop: kernels
+    get every (index, lane) membership pair from ``np.nonzero`` of the
+    matrix instead of ``MAX_LANES`` passes over the word array.
+    """
+    # Little-endian layout pins the byte→lane map on any host.
+    words = np.ascontiguousarray(words, dtype="<u8")
+    if words.size == 0:
+        return np.empty((0, MAX_LANES), dtype=bool)
+    bits = np.unpackbits(
+        words.view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
+    )
+    return bits.view(bool)
+
+
+def lane_members(words: np.ndarray, lane: int) -> np.ndarray:
+    """Indices whose word has bit ``lane`` set — one lane's membership column."""
+    words = np.asarray(words, dtype=np.uint64)
+    return np.flatnonzero(np.bitwise_and(words, lane_bit(lane)) != 0).astype(
+        np.int64
+    )
 
 
 class Bitset:
@@ -93,6 +165,10 @@ class Bitset:
         if self.size != other.size:
             raise ValueError("bitset size mismatch")
         return Bitset(self.size, self.words & ~other.words)
+
+    def and_not(self, other: "Bitset") -> "Bitset":
+        """Named spelling of ``self - other`` (the BFS claim step)."""
+        return self - other
 
     def __ior__(self, other: "Bitset") -> "Bitset":
         if self.size != other.size:

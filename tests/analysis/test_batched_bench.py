@@ -1,0 +1,74 @@
+"""Shape and gate-compatibility of the B1 batched-throughput document."""
+
+import json
+
+import pytest
+
+from repro.analysis.perfbench import check_regression, run_batched_bench
+from repro.cli import main
+
+KEYS = ("bfs_loop", "bfs64", "sssp_loop", "sssp_batch")
+
+
+class TestBatchedBench:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return run_batched_bench(
+            7, 4, backends=("serial",), num_roots=6, batch_roots=6, repeats=1,
+        )
+
+    def test_entries_keyed_name_at_backend(self, doc):
+        assert doc["benchmark"] == "B1_batched"
+        assert set(doc["engines"]) == {f"{k}@serial" for k in KEYS}
+        for entry in doc["engines"].values():
+            assert entry["wall_seconds"] > 0
+            assert entry["roots_per_sec"] == pytest.approx(
+                doc["num_roots"] / entry["wall_seconds"]
+            )
+
+    def test_digest_receipts_pair_loop_with_batched(self, doc):
+        eng = doc["engines"]
+        assert (
+            eng["bfs_loop@serial"]["result_sha256"]
+            == eng["bfs64@serial"]["result_sha256"]
+        )
+        assert (
+            eng["sssp_loop@serial"]["result_sha256"]
+            == eng["sssp_batch@serial"]["result_sha256"]
+        )
+        assert (
+            eng["bfs_loop@serial"]["result_sha256"]
+            != eng["sssp_loop@serial"]["result_sha256"]
+        )
+
+    def test_speedups_are_throughput_ratios(self, doc):
+        eng = doc["engines"]
+        for batched, loop in (("bfs64", "bfs_loop"), ("sssp_batch", "sssp_loop")):
+            assert doc["speedup"][f"{batched}@serial"] == pytest.approx(
+                eng[f"{batched}@serial"]["roots_per_sec"]
+                / eng[f"{loop}@serial"]["roots_per_sec"]
+            )
+
+    def test_protocol_parameters_recorded(self, doc):
+        assert doc["num_roots"] == 6
+        assert doc["batch_roots"] == 6
+        assert doc["delta"] > 0
+        assert doc["host_cpus"] >= 1
+
+    def test_check_regression_gates_the_b1_document(self, doc):
+        assert check_regression(doc, doc, max_regression=0.0) == []
+        tighter = json.loads(json.dumps(doc))
+        tighter["engines"]["sssp_batch@serial"]["wall_seconds"] /= 10.0
+        failures = check_regression(doc, tighter, max_regression=0.30)
+        assert failures and "sssp_batch@serial" in failures[0]
+
+    def test_bench_batched_cli(self, capsys):
+        rc = main(
+            ["bench", "--batched", "--scale", "7", "--ranks", "2",
+             "--bench-roots", "4", "--batch-roots", "4", "--backends",
+             "serial", "--repeats", "1"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "B1_batched"
+        assert set(doc["engines"]) == {f"{k}@serial" for k in KEYS}

@@ -1,0 +1,191 @@
+"""Batched multi-source kernels must answer each lane bit-identically.
+
+The fixture matrix crosses the two batched kernels (``bfs64``,
+``sssp_batch``) with the three rank-execution backends, with fault
+injection and the runtime sanitizer off and on.  For every cell each
+lane's answer must hash identically to the corresponding single-root
+reference run:
+
+* ``sssp_batch``: the lane's dist *and* parent arrays are bitwise equal
+  to the single-root dist1d ∆-stepping answer (the distance fixed point
+  is unique and float64 min over path sums is exact; parents come from
+  the same ``derive_parents`` pass).
+* ``bfs64``: the lane's level column is bitwise equal to the single-root
+  BFS levels (hop distance is unique).  Parent trees are pinned across
+  the whole batched matrix (min-claimant rule is order-free) and
+  validated per lane — but not digest-compared to the single-root run,
+  whose direction-optimizing tie-breaks choose different valid parents.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.graph.csr import build_csr
+from repro.graph.kronecker import generate_kronecker
+
+SCALE = 9
+NUM_RANKS = 8
+NUM_ROOTS = 8
+FAULTS = "drop=0.04,delay=1us,seed=11"
+
+KERNELS = ("bfs64", "sssp_batch")
+BACKENDS = ("serial", "thread", "process")
+MODES = (
+    {"faults": None, "sanitize": False},
+    {"faults": FAULTS, "sanitize": False},
+    {"faults": None, "sanitize": True},
+)
+MODE_IDS = ("plain", "faults", "sanitize")
+
+
+def _sha(*arrays) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(generate_kronecker(SCALE, seed=2022))
+
+
+@pytest.fixture(scope="module")
+def roots(graph):
+    from repro.graph500.roots import sample_roots
+
+    return [int(r) for r in sample_roots(graph, NUM_ROOTS, seed=2022)]
+
+
+@pytest.fixture(scope="module")
+def single_root_hashes(graph, roots):
+    """Per-root reference digests from independent single-root runs."""
+    hashes = {}
+    for root in roots:
+        sssp = api.run(graph, root, kernel="sssp", num_ranks=NUM_RANKS).result
+        bfs = api.run(graph, root, kernel="bfs", num_ranks=NUM_RANKS).result
+        hashes["sssp", root] = _sha(sssp.dist, sssp.parent)
+        hashes["bfs_level", root] = _sha(bfs.level)
+    return hashes
+
+
+@pytest.fixture(scope="module")
+def serial_batched(graph, roots):
+    """Serial-backend batched run per (kernel, mode), computed once."""
+    runs = {}
+    for kernel in KERNELS:
+        for mi, mode in enumerate(MODES):
+            runs[kernel, mi] = api.run(
+                graph, roots, kernel=kernel, num_ranks=NUM_RANKS, **mode
+            )
+    return runs
+
+
+@pytest.mark.parametrize("mode_index", range(len(MODES)), ids=MODE_IDS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_lane_hashes_match_single_root(
+    graph, roots, single_root_hashes, serial_batched, kernel, backend, mode_index
+):
+    mode = MODES[mode_index]
+    base = serial_batched[kernel, mode_index]
+    run = (
+        base
+        if backend == "serial"
+        else api.run(
+            graph, roots, kernel=kernel, num_ranks=NUM_RANKS,
+            executor=backend, workers=3, **mode,
+        )
+    )
+    result = run.result
+    assert result.num_lanes == len(roots)
+    for i, root in enumerate(roots):
+        lane = result.lane(i)
+        if kernel == "sssp_batch":
+            # Bitwise per-lane identity with the single-root answer.
+            assert _sha(lane.dist, lane.parent) == single_root_hashes["sssp", root]
+        else:
+            assert _sha(lane.level) == single_root_hashes["bfs_level", root]
+            # Parent choice is pinned across the entire batched matrix.
+            assert _sha(lane.parent) == _sha(base.result.parent[:, i])
+    # The whole matrix is pinned across backends and fault schedules.
+    if kernel == "sssp_batch":
+        assert np.array_equal(result.dist, base.result.dist)
+    else:
+        assert np.array_equal(result.level, base.result.level)
+    assert np.array_equal(result.parent, base.result.parent)
+    assert run.modeled_time == base.modeled_time
+    assert run.comm == base.comm
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_batched_lanes_validate(graph, roots, serial_batched, kernel):
+    report = serial_batched[kernel, 0].result.validate(graph)
+    assert report.ok, report.failures
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_racecheck_mode_is_bit_identical(graph, roots, serial_batched, kernel):
+    base = serial_batched[kernel, 0]
+    run = api.run(
+        graph, roots, kernel=kernel, num_ranks=NUM_RANKS,
+        executor="thread", workers=3, racecheck=True,
+    )
+    assert np.array_equal(run.result.parent, base.result.parent)
+    audit = run.result.meta["racecheck"]
+    assert audit["regions_checked"] > 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_lane_edges_telemetry_totals(graph, roots, serial_batched, kernel):
+    """Per-lane attribution sums to the sweep's total scanned edges."""
+    result = serial_batched[kernel, 0].result
+    lane_edges = result.meta["lane_edges_scanned"]
+    assert len(lane_edges) == len(roots)
+    assert all(e > 0 for e in lane_edges)
+    if kernel == "sssp_batch":
+        # sssp lanes share one traversal: union scan <= sum of lane scans.
+        assert result.counters.as_dict()["edges_scanned"] <= sum(lane_edges)
+    else:
+        # bfs64 charges each edge to every lane it advanced.
+        assert sum(lane_edges) >= result.counters.as_dict()["edges_scanned"]
+
+
+def test_sssp_batch_respects_explicit_delta(graph, roots):
+    from repro.core.config import SSSPConfig
+
+    by_kwarg = api.run(
+        graph, roots[:2], kernel="sssp_batch", num_ranks=4, delta=0.5
+    )
+    by_config = api.run(
+        graph, roots[:2], kernel="sssp_batch", num_ranks=4,
+        config=SSSPConfig(delta=0.5),
+    )
+    assert by_kwarg.result.meta["delta"] == 0.5
+    assert by_config.result.meta["delta"] == 0.5
+    assert np.array_equal(by_kwarg.result.dist, by_config.result.dist)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_batched_kernels_reject_scalar_source(graph, kernel):
+    with pytest.raises(ValueError, match="batched multi-source"):
+        api.run(graph, 3, kernel=kernel, num_ranks=4)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_batched_kernels_reject_empty_roots(graph, kernel):
+    with pytest.raises(ValueError, match="at least one root"):
+        api.run(graph, [], kernel=kernel, num_ranks=4)
+
+
+def test_bfs64_rejects_more_than_64_roots(graph):
+    with pytest.raises(ValueError, match="at most"):
+        api.run(graph, list(range(65)), kernel="bfs64", num_ranks=4)
+
+
+def test_bfs64_rejects_out_of_range_root(graph):
+    with pytest.raises(ValueError, match="out of range"):
+        api.run(graph, [0, graph.num_vertices], kernel="bfs64", num_ranks=4)

@@ -20,6 +20,16 @@ from repro.simmpi.machine import small_cluster
 REPORT_KEYS = ("engine", "kernel", "num_ranks", "modeled_time",
                "time_breakdown", "comm", "counters", "work_imbalance", "meta")
 
+BATCHED_KERNELS = ("bfs64", "sssp_batch")
+
+
+def _source_for(kernel):
+    if kernel in ("sssp", "bfs"):
+        return 0
+    if kernel in BATCHED_KERNELS:
+        return [0, 1]
+    return None
+
 
 @pytest.fixture(scope="module")
 def graph():
@@ -49,7 +59,7 @@ class TestDispatch:
 
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_every_kernel_satisfies_runsummary(self, graph, kernel):
-        source = 0 if kernel in ("sssp", "bfs") else None
+        source = _source_for(kernel)
         out = api.run(graph, source, kernel=kernel, num_ranks=4)
         assert isinstance(out, RunSummary)
         assert out.engine == "dist1d"
@@ -63,7 +73,12 @@ class TestDispatch:
 
     @pytest.mark.parametrize("kernel", KERNELS)
     def test_shared_engine_runs_every_kernel(self, graph, kernel):
-        source = 0 if kernel in ("sssp", "bfs") else None
+        source = _source_for(kernel)
+        if kernel in BATCHED_KERNELS:
+            # The batched sweeps live on the dist1d substrate only.
+            with pytest.raises(ValueError, match="no 'shared' engine"):
+                api.run(graph, source, kernel=kernel, engine="shared")
+            return
         out = api.run(graph, source, kernel=kernel, engine="shared")
         assert isinstance(out, SharedRun)
         assert out.kernel == kernel

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.bitset import Bitset
+from repro.utils.bitset import (
+    MAX_LANES,
+    Bitset,
+    and_not,
+    lane_bit,
+    lane_members,
+    nonzero_lanes,
+)
 
 
 class TestBitsetBasics:
@@ -105,6 +112,89 @@ class TestBitsetSetOps:
     def test_unhashable(self):
         with pytest.raises(TypeError):
             hash(Bitset(8))
+
+
+class TestLaneHelpers:
+    """The uint64 lane-word helpers behind the bfs64 kernel."""
+
+    def test_max_lanes_is_word_width(self):
+        assert MAX_LANES == 64
+
+    def test_lane_bit(self):
+        assert lane_bit(0) == np.uint64(1)
+        assert lane_bit(63) == np.uint64(1) << np.uint64(63)
+
+    def test_lane_bit_range_checked(self):
+        for bad in (-1, 64, 100):
+            with pytest.raises(ValueError):
+                lane_bit(bad)
+
+    def test_and_not(self):
+        words = np.array([0b1011, 0b0110], dtype=np.uint64)
+        mask = np.array([0b0010, 0b0110], dtype=np.uint64)
+        assert np.array_equal(
+            and_not(words, mask), np.array([0b1001, 0], dtype=np.uint64)
+        )
+
+    def test_bitset_and_not_method(self):
+        a = Bitset.from_indices(100, np.array([1, 2, 70]))
+        b = Bitset.from_indices(100, np.array([2, 3]))
+        assert sorted(a.and_not(b)) == [1, 70]
+
+    def test_nonzero_lanes(self):
+        words = np.zeros(5, dtype=np.uint64)
+        words[1] = lane_bit(0) | lane_bit(63)
+        words[4] = lane_bit(7)
+        assert nonzero_lanes(words).tolist() == [0, 7, 63]
+
+    def test_nonzero_lanes_empty(self):
+        assert nonzero_lanes(np.zeros(3, dtype=np.uint64)).size == 0
+
+    def test_lane_members_column_extraction(self):
+        words = np.zeros(6, dtype=np.uint64)
+        words[np.array([0, 2, 5])] |= lane_bit(3)
+        words[1] = lane_bit(4)
+        assert lane_members(words, 3).tolist() == [0, 2, 5]
+        assert lane_members(words, 4).tolist() == [1]
+        assert lane_members(words, 0).size == 0
+
+
+@given(
+    n=st.integers(1, 40),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_lane_helpers_match_set_reference(n, data):
+    """Property: lane-word ops agree with a per-lane set-of-rows model."""
+    # Reference model: lane -> set of rows whose word has that lane's bit.
+    memberships = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, MAX_LANES - 1)),
+            max_size=80,
+        )
+    )
+    mask_memberships = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, MAX_LANES - 1)),
+            max_size=80,
+        )
+    )
+    words = np.zeros(n, dtype=np.uint64)
+    mask = np.zeros(n, dtype=np.uint64)
+    ref: dict[int, set[int]] = {}
+    mask_ref: dict[int, set[int]] = {}
+    for row, lane in memberships:
+        words[row] |= lane_bit(lane)
+        ref.setdefault(lane, set()).add(row)
+    for row, lane in mask_memberships:
+        mask[row] |= lane_bit(lane)
+        mask_ref.setdefault(lane, set()).add(row)
+    assert nonzero_lanes(words).tolist() == sorted(k for k, v in ref.items() if v)
+    for lane in range(MAX_LANES):
+        assert lane_members(words, lane).tolist() == sorted(ref.get(lane, set()))
+        assert lane_members(and_not(words, mask), lane).tolist() == sorted(
+            ref.get(lane, set()) - mask_ref.get(lane, set())
+        )
 
 
 @given(
